@@ -1,0 +1,273 @@
+// Benchmarks, one per experiment (E1–E10 in DESIGN.md): each exercises the
+// full pipeline a theorem's experiment runs — stream ingestion, decode, and
+// verification — so `go test -bench=.` both times the system and re-checks
+// the claims at benchmark scale. The printed tables come from
+// cmd/experiments; these benches are the machine-readable counterpart.
+package graphsketch_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch/internal/commsim"
+	"graphsketch/internal/core/edgeconn"
+	"graphsketch/internal/core/reconstruct"
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/sketch"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+// BenchmarkE1VertexConnQuery times the Theorem 4 pipeline: stream a
+// k-connected graph with churn, build H, answer a separator query.
+func BenchmarkE1VertexConnQuery(b *testing.B) {
+	n, k := 24, 3
+	h := workload.MustHarary(n, k)
+	rng := rand.New(rand.NewPCG(1, 1))
+	st := stream.WithChurn(h, workload.ErdosRenyi(rng, n, 0.3), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := vertexconn.New(vertexconn.Params{N: n, K: k, Subgraphs: 48, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := stream.Apply(st, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Disconnects(map[int]bool{1: true, 3: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2IndexReduction times Bob's side of the Theorem 5 INDEX
+// protocol: completing the stream and decoding one bit.
+func BenchmarkE2IndexReduction(b *testing.B) {
+	k, nR := 2, 16
+	rng := rand.New(rand.NewPCG(2, 2))
+	bits := make([][]bool, k+1)
+	for i := range bits {
+		bits[i] = make([]bool, nR)
+		for j := range bits[i] {
+			bits[i][j] = rng.IntN(2) == 1
+		}
+	}
+	alice := workload.IndexBipartite(func(i, j int) bool { return bits[i][j] }, k, nR)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := vertexconn.New(vertexconn.Params{N: alice.N(), K: k, Subgraphs: 32, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := stream.Apply(stream.FromGraph(alice), s); err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j < nR; j++ {
+			if err := s.Update(graph.MustEdge(k+1+j-1, k+1+j), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Disconnects(map[int]bool{0: true, 1: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3VertexConnEstimate times the Theorem 8 estimator end to end.
+func BenchmarkE3VertexConnEstimate(b *testing.B) {
+	n, k := 24, 2
+	h := workload.MustHarary(n, 2*k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := vertexconn.New(vertexconn.Params{N: n, K: k, Subgraphs: 64, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := stream.Apply(stream.FromGraph(h), s); err != nil {
+			b.Fatal(err)
+		}
+		got, err := s.EstimateConnectivity(int64(k))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got < int64(k) {
+			b.Fatalf("estimate %d below k=%d on a %d-connected graph", got, k, 2*k)
+		}
+	}
+}
+
+// BenchmarkE4HypergraphSpanning times the Theorem 13 hypergraph
+// connectivity sketch under deletion churn.
+func BenchmarkE4HypergraphSpanning(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 32
+	final := workload.UniformHypergraph(rng, n, 3, 3*n)
+	st := stream.WithChurn(final, workload.UniformHypergraph(rng, n, 3, 3*n), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sketch.NewSpanning(uint64(i), final.Domain(), sketch.SpanningConfig{})
+		if err := stream.Apply(st, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.SpanningGraph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Skeleton times Theorem 14 skeleton construction and decode.
+func BenchmarkE5Skeleton(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	n, k := 16, 3
+	h := workload.ErdosRenyi(rng, n, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk := sketch.NewSkeleton(uint64(i), h.Domain(), k, sketch.SpanningConfig{})
+		if err := sk.UpdateGraph(h, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sk.Skeleton(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Reconstruct times Theorem 15 reconstruction of the paper's
+// Lemma 10 example.
+func BenchmarkE6Reconstruct(b *testing.B) {
+	h := workload.PaperExample()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := reconstruct.New(uint64(i), h.Domain(), 2, sketch.SpanningConfig{})
+		if err := s.UpdateGraph(h, 1); err != nil {
+			b.Fatal(err)
+		}
+		got, err := s.Reconstruct()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !got.Equal(h) {
+			b.Fatal("reconstruction differs")
+		}
+	}
+}
+
+// BenchmarkE7Sparsifier times the Theorem 19/20 sparsifier pipeline.
+func BenchmarkE7Sparsifier(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	n := 14
+	h := workload.ErdosRenyi(rng, n, 0.8)
+	st := stream.FromGraph(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sparsify.New(sparsify.Params{N: n, K: 6, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := stream.Apply(st, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Sparsifier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8InsertOnlyBaseline times the Eppstein et al. filter on the
+// adversarial stream (the work is dominated by its per-insert flow checks —
+// the cost the sketch avoids).
+func BenchmarkE8InsertOnlyBaseline(b *testing.B) {
+	n, k := 16, 3
+	target := workload.MustHarary(n, k)
+	st := stream.InsertDeleteInsert(workload.Complete(n), target)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := graphalg.NewEppsteinFilter(n, int64(k))
+		for _, u := range st {
+			var err error
+			if u.Op == stream.Insert {
+				_, err = f.Insert(u.Edge[0], u.Edge[1])
+			} else {
+				err = f.Delete(u.Edge[0], u.Edge[1])
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = f.VertexConnectivity()
+	}
+}
+
+// BenchmarkE9Communication times a full simultaneous-communication round:
+// n players serialize shares, the referee merges and decodes.
+func BenchmarkE9Communication(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	h := workload.ErdosRenyi(rng, 32, 0.2)
+	dom := h.Domain()
+	cfg := sketch.SpanningConfig{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i)
+		ref := sketch.NewSpanning(seed, dom, cfg)
+		if _, err := commsim.Run(h, func() commsim.Protocol { return sketch.NewSpanning(seed, dom, cfg) }, ref); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ref.SpanningGraph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Ablations times the (invalid) reused-sketch peeling loop that
+// the Section 4.2 ablation studies.
+func BenchmarkE10Ablations(b *testing.B) {
+	h := workload.Complete(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := sketch.NewSpanning(uint64(i), h.Domain(), sketch.SpanningConfig{})
+		if err := sp.UpdateGraph(h, 1); err != nil {
+			b.Fatal(err)
+		}
+		for round := 0; round < 6; round++ {
+			f, err := sp.SpanningGraph()
+			if err != nil || f.EdgeCount() == 0 {
+				break
+			}
+			if err := sp.UpdateGraph(f, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE11Extensions times the E11 extension pipelines: edge
+// connectivity from a skeleton sketch plus guess-and-double κ estimation.
+func BenchmarkE11Extensions(b *testing.B) {
+	h := workload.MustHarary(16, 4)
+	for i := 0; i < b.N; i++ {
+		ec := edgeconn.New(uint64(i), h.Domain(), 6, sketch.SpanningConfig{})
+		if err := ec.UpdateGraph(h, 1); err != nil {
+			b.Fatal(err)
+		}
+		lambda, _, err := ec.EdgeConnectivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lambda != 4 {
+			b.Fatalf("λ = %d, want 4", lambda)
+		}
+		est, err := vertexconn.NewEstimator(vertexconn.EstimatorParams{N: 16, KMax: 4, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := stream.Apply(stream.FromGraph(h), est); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := est.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

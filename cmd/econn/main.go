@@ -1,0 +1,24 @@
+// Command econn answers edge-connectivity questions about a dynamic
+// hypergraph stream using a k-skeleton sketch: the global minimum cut
+// (exact below k, with a witness side), k-edge-connectivity decisions, and
+// capped s–t cuts.
+//
+// Examples:
+//
+//	econn -n 64 -k 8 < stream.txt
+//	econn -n 64 -k 8 -st 3,17 < stream.txt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphsketch/internal/cli"
+)
+
+func main() {
+	if err := cli.RunEconn(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "econn: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"graphsketch/internal/bench"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+// runE1 validates Theorem 4: an O(kn polylog n) sketch of a dynamic stream
+// answers "does removing S (|S| ≤ k) disconnect G?". Workloads are Harary
+// graphs H_{k,n} (κ = k exactly, every vertex's neighbourhood is a
+// separator) streamed with heavy deletion churn; queries are true
+// separators (closed neighbourhoods) and random non-separators. The table
+// sweeps the number of subsampled subgraphs R — the paper's R = 16k²ln n is
+// the rightmost row block — and reports query accuracy and space.
+func runE1(cfg Config, out *os.File) error {
+	t := bench.NewTable("E1 — Theorem 4: vertex-removal queries on dynamic streams",
+		"graph", "n", "k", "R(subgraphs)", "sep acc", "non-sep acc", "sketch", "naive graph")
+	t.Note = "sep acc: true separators detected; non-sep acc: non-separators passed.\n" +
+		"R is the number of vertex-subsampled subgraphs (paper: R = 16k²ln n)."
+
+	sizes := []int{24, 48}
+	if cfg.Quick {
+		sizes = []int{24}
+	}
+	k := 4
+	for _, n := range sizes {
+		h := workload.MustHarary(n, k)
+		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n)))
+		churn := workload.ErdosRenyi(rng, n, 0.3)
+		st := stream.WithChurn(h, churn, rng)
+
+		sweeps := []int{16, 64, 192}
+		if cfg.Quick {
+			sweeps = []int{16, 64}
+		}
+		for _, R := range sweeps {
+			s, err := vertexconn.New(vertexconn.Params{N: n, R: 2, K: k, Subgraphs: R, Seed: cfg.Seed + uint64(R)})
+			if err != nil {
+				return err
+			}
+			if err := stream.Apply(st, s); err != nil {
+				return err
+			}
+			var sep, non bench.Counter
+			for q := 0; q < 12; q++ {
+				// True separator: the k neighbours of vertex v in H_{k,n}.
+				v := rng.IntN(n)
+				set := neighbourSet(h, v, k)
+				got, err := s.Disconnects(set)
+				if err != nil {
+					return err
+				}
+				sep.Observe(got == graphalg.DisconnectsQueryMode(h, set, graph.DropIncident) && got)
+
+				// Random k-set (almost surely not a separator).
+				rs := randomSet(rng, n, k)
+				want := graphalg.DisconnectsQueryMode(h, rs, graph.DropIncident)
+				got, err = s.Disconnects(rs)
+				if err != nil {
+					return err
+				}
+				non.Observe(got == want)
+			}
+			t.AddRow("Harary", n, k, R, sep.String(), non.String(),
+				bench.FmtBytes(s.Words()*8), bench.FmtBytes(h.EdgeCount()*16))
+		}
+	}
+
+	// One row at the paper's exact Theorem 4 constants (small n so the
+	// R = 16k²ln n sketches stay tractable).
+	{
+		n, k := 16, 2
+		h := workload.MustHarary(n, k)
+		p := vertexconn.TheoryQueryParams(n, 2, k, cfg.Seed)
+		s, err := vertexconn.New(p)
+		if err != nil {
+			return err
+		}
+		if err := stream.Apply(stream.FromGraph(h), s); err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewPCG(cfg.Seed, 7))
+		var sep, non bench.Counter
+		for q := 0; q < 8; q++ {
+			v := rng.IntN(n)
+			set := neighbourSet(h, v, k)
+			got, err := s.Disconnects(set)
+			if err != nil {
+				return err
+			}
+			sep.Observe(got)
+			rs := randomSet(rng, n, k)
+			want := graphalg.DisconnectsQueryMode(h, rs, graph.DropIncident)
+			got, err = s.Disconnects(rs)
+			if err != nil {
+				return err
+			}
+			non.Observe(got == want)
+		}
+		t.AddRow("Harary (paper R)", n, k, p.Subgraphs, sep.String(), non.String(),
+			bench.FmtBytes(s.Words()*8), bench.FmtBytes(h.EdgeCount()*16))
+	}
+
+	// Hypergraph variant (Theorem 13 substitution): two 3-uniform
+	// communities overlapping in 2 vertices; the overlap is the separator
+	// under drop-incident semantics. Also run a sliding-window stream —
+	// fully interleaved inserts and deletes.
+	{
+		rng := rand.New(rand.NewPCG(cfg.Seed, 31))
+		hg := workload.SharedHyperCommunities(rng, 8, 2, 3, 30)
+		sHG, err := vertexconn.New(vertexconn.Params{N: hg.N(), R: 3, K: 2, Subgraphs: 96, Seed: cfg.Seed ^ 0x31})
+		if err != nil {
+			return err
+		}
+		// Sliding-window stream: transient edges precede the final graph.
+		churn := workload.UniformHypergraph(rng, hg.N(), 3, 40)
+		var sequence []graph.Hyperedge
+		for _, e := range churn.Edges() {
+			if !hg.Has(e) {
+				sequence = append(sequence, e)
+			}
+		}
+		sequence = append(sequence, hg.Edges()...)
+		// Window = |final graph|: exactly the transient prefix expires,
+		// leaving hg live at the end.
+		window := hg.EdgeCount()
+		st := stream.SlidingWindow(sequence, window)
+		if got, err := stream.Materialize(st, hg.N(), 3); err != nil || !got.Equal(hg) {
+			return fmt.Errorf("E1: sliding-window stream does not materialize to the workload (%v)", err)
+		}
+		if err := stream.Apply(st, sHG); err != nil {
+			return err
+		}
+		// Verify the stream really materialized to hg before querying.
+		var sep, non bench.Counter
+		got, err := sHG.Disconnects(map[int]bool{6: true, 7: true}) // the overlap
+		if err != nil {
+			return err
+		}
+		sep.Observe(got)
+		for q := 0; q < 15; q++ {
+			rs := randomSet(rng, hg.N(), 2)
+			want := graphalg.DisconnectsQueryMode(hg, rs, graph.DropIncident)
+			g, err := sHG.Disconnects(rs)
+			if err != nil {
+				return err
+			}
+			non.Observe(g == want)
+		}
+		t.AddRow("HyperCommunities r=3", hg.N(), 2, 96, sep.String(), non.String(),
+			bench.FmtBytes(sHG.Words()*8), bench.FmtBytes(hg.EdgeCount()*32))
+	}
+
+	// SharedCliques: unique small separator, big edge connectivity.
+	sc, err := workload.SharedCliques(8, 8, 2)
+	if err != nil {
+		return err
+	}
+	s, err := vertexconn.New(vertexconn.Params{N: sc.N(), R: 2, K: 2, Subgraphs: 96, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	if err := stream.Apply(stream.FromGraph(sc), s); err != nil {
+		return err
+	}
+	var sep, non bench.Counter
+	got, err := s.Disconnects(map[int]bool{0: true, 1: true})
+	if err != nil {
+		return err
+	}
+	sep.Observe(got)
+	rng := rand.New(rand.NewPCG(cfg.Seed, 99))
+	for q := 0; q < 23; q++ {
+		rs := randomSet(rng, sc.N(), 2)
+		want := graphalg.DisconnectsQueryMode(sc, rs, graph.DropIncident)
+		g, err := s.Disconnects(rs)
+		if err != nil {
+			return err
+		}
+		non.Observe(g == want)
+	}
+	t.AddRow("SharedCliques", sc.N(), 2, 96, sep.String(), non.String(),
+		bench.FmtBytes(s.Words()*8), bench.FmtBytes(sc.EdgeCount()*16))
+
+	emitTable(t, out)
+	return nil
+}
+
+// neighbourSet returns the first k neighbours of v — in Harary graphs this
+// is a minimum separator isolating v when k equals the degree.
+func neighbourSet(h *graph.Hypergraph, v, k int) map[int]bool {
+	set := map[int]bool{}
+	for _, e := range h.Edges() {
+		if e.Contains(v) {
+			for _, u := range e {
+				if u != v && len(set) < k {
+					set[u] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+func randomSet(rng *rand.Rand, n, k int) map[int]bool {
+	set := map[int]bool{}
+	for len(set) < k {
+		set[rng.IntN(n)] = true
+	}
+	return set
+}

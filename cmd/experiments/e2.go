@@ -1,0 +1,63 @@
+package main
+
+import (
+	"math/rand/v2"
+	"os"
+
+	"graphsketch/internal/bench"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/lowerbound"
+)
+
+// runE2 exercises the Theorem 5 lower-bound reduction from INDEX: Alice
+// encodes a (k+1)×n bit matrix as a bipartite graph and streams it through
+// the query sketch; Bob continues the stream (linearity) and issues one
+// Theorem 4 query, recovering x[i,j]. The table reports decoding accuracy
+// (the protocol of the lower-bound proof genuinely works against our
+// sketch) and the sketch size normalized by k·n (the lower-bound floor):
+// the per-(k·n) factor is the polylog overhead, demonstrating both
+// directions of "Θ(kn polylog n) is the right bound".
+func runE2(cfg Config, out *os.File) error {
+	t := bench.NewTable("E2 — Theorem 5: INDEX reduction and the Ω(kn) floor",
+		"k", "n(right side)", "bits decoded", "accuracy", "sketch size", "sketch/(k·n) words")
+	t.Note = "Bob recovers x[i,j] from Alice's sketch: accuracy must be ≈1 (INDEX needs Ω(kn) bits,\n" +
+		"so any structure answering these queries — including this sketch — stores Ω(kn))."
+
+	ks := []int{1, 2, 3}
+	if cfg.Quick {
+		ks = []int{1, 2}
+	}
+	nRight := 24
+	trials := 8
+	for _, k := range ks {
+		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(k)))
+		inst := lowerbound.RandomIndex(rng, k+1, nRight)
+		nTotal := lowerbound.Theorem5VertexCount(inst)
+
+		var acc bench.Counter
+		var sketchBytes int
+		for trial := 0; trial < trials; trial++ {
+			i := rng.IntN(k + 1)
+			j := rng.IntN(nRight)
+			var built *vertexconn.Sketch
+			got, err := lowerbound.Theorem5Protocol(inst, func() lowerbound.QueryStructure {
+				s, err := vertexconn.New(vertexconn.Params{
+					N: nTotal, R: 2, K: k, Subgraphs: 48, Seed: cfg.Seed ^ uint64(1000*k+trial)})
+				if err != nil {
+					panic(err)
+				}
+				built = s
+				return s
+			}, i, j)
+			if err != nil {
+				return err
+			}
+			sketchBytes = built.Words() * 8
+			acc.Observe(got == inst.Bits[i][j])
+		}
+		t.AddRow(k, nRight, acc.Trials, acc.String(), bench.FmtBytes(sketchBytes),
+			bench.FmtFloat(float64(sketchBytes/8)/float64(k*nTotal), 0))
+	}
+	emitTable(t, out)
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"math"
+	"os"
+
+	"graphsketch/internal/bench"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+// runE3 validates Theorem 8: with R = O(k²ε⁻¹ log n) subsampled subgraphs,
+// κ(H) distinguishes (1+ε)k-vertex-connected graphs from ≤k-connected
+// ones. Ground truth comes from Harary graphs, whose vertex connectivity is
+// exact. Two guarantees are checked separately: κ(H) ≤ κ(G) always (H is a
+// subgraph — "low side" must be perfect at any R), and κ(H) ≥ k w.h.p. when
+// κ(G) ≥ (1+ε)k ("high side", improving as R grows). The space column shows
+// the ε⁻¹ scaling of the paper's bound.
+func runE3(cfg Config, out *os.File) error {
+	t := bench.NewTable("E3 — Theorem 8: (1+ε)k vs k vertex connectivity",
+		"k", "ε", "R(subgraphs)", "low side ok", "high side ok", "sketch", "theory R")
+	t.Note = "low side: κ(H) ≤ k for k-connected G (must be 100% — subgraph property).\n" +
+		"high side: κ(H) ≥ k for (1+ε)k-connected G (improves with R)."
+
+	n := 28
+	trials := 6
+	if cfg.Quick {
+		trials = 3
+	}
+	type pt struct {
+		k   int
+		eps float64
+	}
+	pts := []pt{{2, 1.0}, {2, 0.5}, {3, 1.0}}
+	if cfg.Quick {
+		pts = []pt{{2, 1.0}}
+	}
+	for _, p := range pts {
+		kHigh := int(math.Ceil(float64(p.k) * (1 + p.eps)))
+		low := workload.MustHarary(n, p.k)
+		high := workload.MustHarary(n, kHigh)
+		for _, R := range []int{24, 96, 256} {
+			var lowOK, highOK bench.Counter
+			var words int
+			for trial := 0; trial < trials; trial++ {
+				seed := cfg.Seed ^ uint64(trial*7919+R)
+				for _, side := range []struct {
+					g    *graph.Hypergraph
+					high bool
+				}{{low, false}, {high, true}} {
+					s, err := vertexconn.New(vertexconn.Params{
+						N: n, R: 2, K: p.k, Subgraphs: R, Seed: seed})
+					if err != nil {
+						return err
+					}
+					if err := stream.Apply(stream.FromGraph(side.g), s); err != nil {
+						return err
+					}
+					words = s.Words()
+					est, err := s.EstimateConnectivity(int64(p.k))
+					if err != nil {
+						return err
+					}
+					if side.high {
+						highOK.Observe(est >= int64(p.k))
+					} else {
+						lowOK.Observe(est <= int64(p.k))
+					}
+				}
+			}
+			theoryR := int(math.Ceil(160 * float64(p.k*p.k) / p.eps * math.Log(float64(n))))
+			t.AddRow(p.k, p.eps, R, lowOK.String(), highOK.String(),
+				bench.FmtBytes(words*8), theoryR)
+		}
+	}
+	emitTable(t, out)
+	return nil
+}

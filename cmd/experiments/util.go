@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphsketch/internal/bench"
+	"graphsketch/internal/graph"
+)
+
+// hyper abbreviates the shared hypergraph type in experiment code.
+type hyper = graph.Hypergraph
+
+// mustEdge abbreviates graph.MustEdge in experiment code.
+var mustEdge = graph.MustEdge
+
+// csvDir, when set by -csv, receives one CSV file per emitted table.
+var csvDir string
+
+// emitTable prints a table and, when -csv is set, also writes it as CSV.
+func emitTable(t *bench.Table, out *os.File) {
+	t.Fprint(out)
+	if csvDir == "" {
+		return
+	}
+	path := filepath.Join(csvDir, t.SlugTitle()+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+	}
+}

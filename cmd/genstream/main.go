@@ -1,0 +1,27 @@
+// Command genstream emits dynamic-stream files (the format the other
+// commands consume) for the workload families used in the experiments.
+//
+// Examples:
+//
+//	genstream -family harary -n 64 -k 4 > h.txt
+//	genstream -family er -n 100 -p 0.1 -churn 2.0 > er.txt
+//	genstream -family uniform -n 64 -r 3 -m 300 -churn 1.0 -window > w.txt
+//
+// -churn f interleaves f·m transient edges that are inserted and later
+// deleted; with -window the transients expire in sliding-window order. The
+// stream always materializes to the family's final graph.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphsketch/internal/cli"
+)
+
+func main() {
+	if err := cli.RunGenstream(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "genstream: %v\n", err)
+		os.Exit(1)
+	}
+}

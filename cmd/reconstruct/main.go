@@ -1,0 +1,26 @@
+// Command reconstruct recovers a k-cut-degenerate hypergraph — or, in
+// general, its light_k edge set — from a dynamic edge stream via the
+// Theorem 15 sketch, writing the recovered hyperedges to stdout one per
+// line.
+//
+// Example:
+//
+//	reconstruct -n 32 -k 2 < stream.txt
+//
+// With -light the command prints light_k(G) even when the graph is not
+// k-cut-degenerate; otherwise an incomplete reconstruction is an error.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphsketch/internal/cli"
+)
+
+func main() {
+	if err := cli.RunReconstruct(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+		os.Exit(1)
+	}
+}

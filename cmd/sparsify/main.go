@@ -1,0 +1,25 @@
+// Command sparsify builds a (1+ε) cut sparsifier of a dynamic hypergraph
+// stream (Theorems 19/20) and writes the weighted hyperedges to stdout as
+// lines "weight v1 v2 [v3 ...]".
+//
+// Example:
+//
+//	sparsify -n 64 -r 3 -eps 0.5 < stream.txt > sparsifier.txt
+//
+// Pass -K to set the strength threshold directly instead of deriving it
+// from ε via the paper's K = ⌈ε⁻²(log2 n + r)⌉.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphsketch/internal/cli"
+)
+
+func main() {
+	if err := cli.RunSparsify(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "sparsify: %v\n", err)
+		os.Exit(1)
+	}
+}

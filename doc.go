@@ -1,0 +1,29 @@
+// Package graphsketch is a Go implementation of "Vertex and Hyperedge
+// Connectivity in Dynamic Graph Streams" (Guha, McGregor, Tench; PODS
+// 2015): linear sketches for vertex connectivity, cut-degenerate hypergraph
+// reconstruction, and hypergraph cut sparsification over streams of
+// hyperedge insertions and deletions.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core/vertexconn — Section 3: vertex-connectivity query
+//     structures (Theorem 4) and estimators (Theorem 8)
+//   - internal/core/reconstruct — Section 4: light_k and cut-degenerate
+//     reconstruction (Theorem 15) plus the Becker et al. baseline
+//   - internal/core/sparsify — Section 5: hypergraph sparsifiers
+//     (Theorems 19/20)
+//   - internal/sketch — the AGM spanning-graph sketch generalized to
+//     hypergraphs (Theorem 13) and k-skeletons (Theorem 14)
+//   - internal/l0, internal/recovery, internal/field, internal/hashutil —
+//     the sparse-recovery substrate
+//   - internal/graph, internal/graphalg — hypergraph types and offline
+//     algorithms (flows, cuts, connectivity, strength)
+//   - internal/stream, internal/workload, internal/commsim — the dynamic
+//     stream model, workload generators, and the simultaneous
+//     communication model
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the per-theorem experimental results. The benchmarks
+// in bench_test.go regenerate one experiment pipeline per theorem;
+// cmd/experiments prints the full tables.
+package graphsketch

@@ -1,0 +1,89 @@
+// Quickstart: a 60-second tour of the library.
+//
+// We stream a small dynamic graph — inserts and deletes — into three
+// sketches (connectivity, vertex-connectivity queries, sparsifier) and
+// decode each. Every sketch sees only the stream, never the graph.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/sketch"
+)
+
+func main() {
+	const n = 10
+	dom := graph.MustDomain(n, 2)
+
+	// Three one-pass sketches over the same stream.
+	conn := sketch.NewSpanning(7, dom, sketch.SpanningConfig{})
+	vc, err := vertexconn.New(vertexconn.Params{N: n, K: 1, Subgraphs: 32, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := sparsify.New(sparsify.Params{N: n, K: 4, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sinks := []interface {
+		Update(e graph.Hyperedge, delta int64) error
+	}{conn, vc, sp}
+
+	update := func(delta int64, vs ...int) {
+		e := graph.MustEdge(vs...)
+		for _, s := range sinks {
+			if err := s.Update(e, delta); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// The stream: build two triangles, bridge them, then delete the
+	// scaffolding edge we regret.
+	update(+1, 0, 1)
+	update(+1, 1, 2)
+	update(+1, 0, 2)
+	update(+1, 5, 6)
+	update(+1, 6, 7)
+	update(+1, 5, 7)
+	update(+1, 2, 5) // the bridge
+	update(+1, 0, 7) // scaffolding ...
+	update(-1, 0, 7) // ... deleted: linear sketches just subtract
+
+	// 1. Connectivity (vertices 3,4,8,9 are isolated, so: not connected).
+	ok, err := conn.Connected()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected over all %d vertices: %v (vertices 3,4,8,9 are isolated)\n", n, ok)
+
+	comps, err := conn.Components()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("components: %d\n", comps.Components())
+
+	// 2. Vertex-connectivity query: is {2} a cut vertex?
+	disc, err := vc.Disconnects(map[int]bool{2: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removing vertex 2 disconnects the two triangles: %v\n", disc)
+
+	// 3. Sparsifier: at K above the graph's strength it reproduces the
+	// graph exactly.
+	sparse, err := sp.Sparsifier()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparsifier: %d weighted edges (stream had 7 live edges)\n", sparse.EdgeCount())
+	for _, we := range sparse.WeightedEdges() {
+		fmt.Printf("  weight %d  %v\n", we.W, we.E)
+	}
+}

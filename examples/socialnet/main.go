@@ -1,0 +1,96 @@
+// Socialnet: monitoring the robustness of a changing social network.
+//
+// A community graph evolves through friend/unfriend events (a dynamic
+// stream). We maintain a single vertex-connectivity sketch and answer two
+// operational questions at checkpoints, without ever storing the graph:
+//
+//   - "Can these k moderators leaving disconnect the community?"
+//     (Theorem 4 queries)
+//   - "How many simultaneous departures can the network survive?"
+//     (Theorem 8 estimation)
+//
+// The scenario plants a two-community structure held together by a small
+// set of bridge members — the separator the sketch must find.
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/workload"
+)
+
+func main() {
+	// Two tight communities of 8 sharing 2 "bridge" members.
+	g, err := workload.SharedCliques(8, 8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := g.N()
+	fmt.Printf("community graph: %d members, %d friendships, bridges = {0, 1}\n",
+		n, g.EdgeCount())
+
+	sk, err := vertexconn.New(vertexconn.Params{N: n, K: 2, Subgraphs: 96, Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: the friendships arrive in random order, interleaved with
+	// transient friendships that are later removed (churn).
+	rng := rand.New(rand.NewPCG(20, 26))
+	churn := workload.ErdosRenyi(rng, n, 0.3)
+	applied := 0
+	for _, e := range churn.Edges() {
+		if !g.Has(e) {
+			must(sk.Update(e, 1))
+			applied++
+		}
+	}
+	for _, e := range g.Edges() {
+		must(sk.Update(e, 1))
+		applied++
+	}
+	for _, e := range churn.Edges() {
+		if !g.Has(e) {
+			must(sk.Update(e, -1))
+			applied++
+		}
+	}
+	fmt.Printf("streamed %d events (inserts + deletes)\n", applied)
+
+	// Question 1: are the two bridge members a single point of failure?
+	disc, err := sk.Disconnects(map[int]bool{0: true, 1: true})
+	must(err)
+	fmt.Printf("if moderators {0,1} leave, the network splits: %v\n", disc)
+
+	// A random pair, for contrast.
+	disc, err = sk.Disconnects(map[int]bool{3: true, 9: true})
+	must(err)
+	fmt.Printf("if members {3,9} leave, the network splits: %v\n", disc)
+
+	// Question 2: overall robustness.
+	kappa, err := sk.EstimateConnectivity(2)
+	must(err)
+	fmt.Printf("estimated vertex connectivity (capped at 2): %d\n", kappa)
+	fmt.Printf("ground truth: %d\n", graphalg.VertexConnectivity(g, 2))
+
+	// Phase 2: a new friendship bridges the communities directly;
+	// the single point of failure disappears. The sketch just keeps
+	// streaming.
+	must(sk.Update(graph.MustEdge(5, 12), 1))
+	disc, err = sk.Disconnects(map[int]bool{0: true, 1: true})
+	must(err)
+	fmt.Printf("after a direct cross-community friendship {5,12}: bridges {0,1} leaving splits the network: %v\n", disc)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

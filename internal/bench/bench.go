@@ -1,0 +1,179 @@
+// Package bench provides the small experiment-harness utilities shared by
+// cmd/experiments and the root benchmark suite: aligned table rendering,
+// value formatting, and simple accuracy counters.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table. The experiment harness
+// prints one table per reproduced theorem.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v unless already strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FmtFloat(v, 3)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FmtFloat formats a float with the given precision, trimming trailing
+// zeros for readability.
+func FmtFloat(v float64, prec int) string {
+	s := fmt.Sprintf("%.*f", prec, v)
+	if strings.Contains(s, ".") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimSuffix(s, ".")
+	}
+	return s
+}
+
+// FmtBytes renders a byte count with a binary unit.
+func FmtBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return FmtFloat(float64(b)/(1<<20), 1) + " MiB"
+	case b >= 1<<10:
+		return FmtFloat(float64(b)/(1<<10), 1) + " KiB"
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FmtPercent renders a ratio as a percentage.
+func FmtPercent(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return FmtFloat(100*float64(num)/float64(den), 1) + "%"
+}
+
+// Counter tallies successes over trials.
+type Counter struct {
+	Hits, Trials int
+}
+
+// Observe records one trial.
+func (c *Counter) Observe(hit bool) {
+	c.Trials++
+	if hit {
+		c.Hits++
+	}
+}
+
+// String renders "hits/trials (pct)".
+func (c Counter) String() string {
+	return fmt.Sprintf("%d/%d (%s)", c.Hits, c.Trials, FmtPercent(c.Hits, c.Trials))
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (header row first) for
+// downstream plotting; cells containing commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SlugTitle returns a filesystem-friendly slug of the table title, for CSV
+// file naming.
+func (t *Table) SlugTitle() string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(t.Title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "-"):
+			b.WriteRune('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Note = "a note"
+	tb.AddRow("alpha", 1)
+	tb.AddRow("a-much-longer-name", 3.14159)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "a note", "alpha", "a-much-longer-name", "3.142"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the same prefix width up to the
+	// second column.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	header := lines[2]
+	col2 := strings.Index(header, "value")
+	if col2 < 0 {
+		t.Fatalf("no value column: %q", header)
+	}
+	for _, l := range lines[4:] {
+		if len(l) <= col2 {
+			t.Fatalf("row shorter than header: %q", l)
+		}
+	}
+}
+
+func TestFmtFloatTrimsZeros(t *testing.T) {
+	cases := []struct {
+		v    float64
+		prec int
+		want string
+	}{
+		{1.5, 3, "1.5"},
+		{2.0, 3, "2"},
+		{0.125, 3, "0.125"},
+		{0.1, 0, "0"},
+	}
+	for _, c := range cases {
+		if got := FmtFloat(c.v, c.prec); got != c.want {
+			t.Errorf("FmtFloat(%v,%d) = %q, want %q", c.v, c.prec, got, c.want)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   int
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2 KiB"},
+		{3 << 20, "3 MiB"},
+	}
+	for _, c := range cases {
+		if got := FmtBytes(c.in); got != c.want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFmtPercent(t *testing.T) {
+	if got := FmtPercent(1, 4); got != "25%" {
+		t.Errorf("FmtPercent = %q", got)
+	}
+	if got := FmtPercent(1, 0); got != "n/a" {
+		t.Errorf("FmtPercent zero denominator = %q", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Observe(true)
+	c.Observe(false)
+	c.Observe(true)
+	if c.Hits != 2 || c.Trials != 3 {
+		t.Fatalf("counter state %+v", c)
+	}
+	if got := c.String(); !strings.Contains(got, "2/3") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("E7 — demo, with commas", "a", "b")
+	tb.AddRow("x,y", 2)
+	tb.AddRow(`q"z`, 3)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\n\"x,y\",2\n\"q\"\"z\",3\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+	if slug := tb.SlugTitle(); slug != "e7-demo-with-commas" {
+		t.Fatalf("slug = %q", slug)
+	}
+}

@@ -1,0 +1,357 @@
+// Package cli implements the command-line tools' logic behind thin main
+// wrappers, so the tools are unit-testable: every Run* function takes its
+// argument list and explicit streams and returns an error instead of
+// exiting.
+package cli
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphsketch/internal/core/edgeconn"
+	"graphsketch/internal/core/reconstruct"
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/plan"
+	"graphsketch/internal/sketch"
+	"graphsketch/internal/stream"
+)
+
+// parseProfile maps a -profile flag value to a plan.Profile.
+func parseProfile(name string) (plan.Profile, error) {
+	switch name {
+	case "lean":
+		return plan.Lean, nil
+	case "", "balanced":
+		return plan.Balanced, nil
+	case "theory":
+		return plan.Theory, nil
+	default:
+		return 0, fmt.Errorf("unknown profile %q (want lean|balanced|theory)", name)
+	}
+}
+
+// openStream returns the stream input: stdin for "-", else the named file.
+func openStream(path string, stdin io.Reader) (io.Reader, func() error, error) {
+	if path == "-" {
+		return stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// readAndApply parses a stream and feeds it to the sink, returning the
+// parsed stream for stats.
+func readAndApply(path string, stdin io.Reader, sink stream.Sink) (stream.Stream, error) {
+	in, closeFn, err := openStream(path, stdin)
+	if err != nil {
+		return nil, err
+	}
+	defer closeFn()
+	st, err := stream.ReadText(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.Apply(st, sink); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseVertexSet parses "1,2,3" into a set, validating against n.
+func parseVertexSet(spec string, n int) (map[int]bool, error) {
+	set := map[int]bool{}
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 0 || v >= n {
+			return nil, fmt.Errorf("bad vertex %q (want 0..%d)", f, n-1)
+		}
+		set[v] = true
+	}
+	return set, nil
+}
+
+// RunVconn implements cmd/vconn.
+func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vconn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 0, "number of vertices (required)")
+	r := fs.Int("r", 2, "maximum hyperedge cardinality")
+	k := fs.Int("k", 1, "connectivity parameter / max query size")
+	subgraphs := fs.Int("subgraphs", 0, "number of vertex-subsampled subgraphs (0 = use -profile)")
+	profile := fs.String("profile", "balanced", "parameter profile: lean | balanced | theory")
+	seed := fs.Uint64("seed", 1, "random seed")
+	query := fs.String("query", "", "comma-separated vertex set to test for disconnection")
+	estimate := fs.Bool("estimate", false, "estimate vertex connectivity (graphs only)")
+	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	save := fs.String("save", "", "write the sketch state to this file after consuming the stream")
+	load := fs.String("load", "", "merge a previously saved sketch state before consuming the stream")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return errors.New("need -n >= 2")
+	}
+	if *query == "" && !*estimate && *save == "" {
+		return errors.New("need -query, -estimate, or -save")
+	}
+
+	var p vertexconn.Params
+	if *subgraphs > 0 {
+		p = vertexconn.Params{N: *n, R: *r, K: *k, Subgraphs: *subgraphs, Seed: *seed}
+	} else {
+		prof, err := parseProfile(*profile)
+		if err != nil {
+			return err
+		}
+		if *estimate {
+			p = plan.VertexConnEstimate(*n, *r, *k, 1.0, *seed, prof)
+		} else {
+			p = plan.VertexConnQuery(*n, *r, *k, *seed, prof)
+		}
+	}
+	s, err := vertexconn.New(p)
+	if err != nil {
+		return err
+	}
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			return err
+		}
+		if err := s.AddState(data); err != nil {
+			return fmt.Errorf("loading state (parameters must match the saving run): %w", err)
+		}
+	}
+	st, err := readAndApply(*file, stdin, s)
+	if err != nil {
+		return err
+	}
+	stats, err := stream.Summarize(st, *n, *r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "stream: %d updates (%d inserts, %d deletes); sketch: %d KiB over %d subgraphs\n",
+		stats.Updates, stats.Inserts, stats.Deletes, s.Words()*8/1024, s.Subgraphs())
+	if *save != "" {
+		if err := os.WriteFile(*save, s.State(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sketch state saved to %s\n", *save)
+	}
+
+	if *query != "" {
+		set, err := parseVertexSet(*query, *n)
+		if err != nil {
+			return err
+		}
+		disc, err := s.Disconnects(set)
+		if err != nil {
+			return err
+		}
+		if disc {
+			fmt.Fprintf(stdout, "removing %v DISCONNECTS the graph\n", *query)
+		} else {
+			fmt.Fprintf(stdout, "removing %v leaves the graph connected\n", *query)
+		}
+	}
+	if *estimate {
+		est, err := s.EstimateConnectivity(int64(*k))
+		if err != nil {
+			return err
+		}
+		if est >= int64(*k) {
+			fmt.Fprintf(stdout, "vertex connectivity >= %d (capped at k)\n", est)
+		} else {
+			fmt.Fprintf(stdout, "vertex connectivity = %d\n", est)
+		}
+	}
+	return nil
+}
+
+// RunSparsify implements cmd/sparsify.
+func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sparsify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 0, "number of vertices (required)")
+	r := fs.Int("r", 2, "maximum hyperedge cardinality")
+	eps := fs.Float64("eps", 0.5, "target cut approximation (sets K unless -K given)")
+	kFlag := fs.Int("K", 0, "strength threshold (overrides -eps and -profile)")
+	profile := fs.String("profile", "balanced", "parameter profile: lean | balanced | theory")
+	levels := fs.Int("levels", 0, "subsampling levels (0 = 3·log2 n)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return errors.New("need -n >= 2")
+	}
+	var params sparsify.Params
+	if *kFlag > 0 {
+		params = sparsify.Params{N: *n, R: *r, K: *kFlag, Levels: *levels, Seed: *seed}
+	} else {
+		prof, err := parseProfile(*profile)
+		if err != nil {
+			return err
+		}
+		params = plan.Sparsify(*n, *r, *eps, *seed, prof)
+		params.Levels = *levels
+	}
+	s, err := sparsify.New(params)
+	if err != nil {
+		return err
+	}
+	k := params.K
+	if *kFlag > 0 {
+		k = *kFlag
+	}
+	st, err := readAndApply(*file, stdin, s)
+	if err != nil {
+		return err
+	}
+	sp, err := s.Sparsifier()
+	if err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	stats, _ := stream.Summarize(st, *n, *r)
+	fmt.Fprintf(stderr, "stream: %d updates → %d live edges; sparsifier: %d edges, total weight %d; K=%d; sketch %d KiB\n",
+		stats.Updates, stats.MaxActive, sp.EdgeCount(), sp.TotalWeight(), k, s.Words()*8/1024)
+
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	for _, we := range sp.WeightedEdges() {
+		fmt.Fprintf(w, "%d", we.W)
+		for _, v := range we.E {
+			fmt.Fprintf(w, " %d", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunReconstruct implements cmd/reconstruct.
+func RunReconstruct(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("reconstruct", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 0, "number of vertices (required)")
+	r := fs.Int("r", 2, "maximum hyperedge cardinality")
+	k := fs.Int("k", 1, "cut-degeneracy parameter")
+	seed := fs.Uint64("seed", 1, "random seed")
+	light := fs.Bool("light", false, "print light_k(G) even if reconstruction is incomplete")
+	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return errors.New("need -n >= 2")
+	}
+	dom, err := graph.NewDomain(*n, *r)
+	if err != nil {
+		return err
+	}
+	s := reconstruct.New(*seed, dom, *k, sketch.SpanningConfig{})
+	if _, err := readAndApply(*file, stdin, s); err != nil {
+		return err
+	}
+
+	var out *graph.Hypergraph
+	if *light {
+		out, err = s.LightEdges()
+		if err != nil {
+			return err
+		}
+	} else {
+		out, err = s.Reconstruct()
+		if errors.Is(err, reconstruct.ErrIncomplete) {
+			return fmt.Errorf("graph is not %d-cut-degenerate (use -light to print the recovered light_%d set)", *k, *k)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "recovered %d hyperedges; sketch %d KiB\n", out.EdgeCount(), s.Words()*8/1024)
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	for _, e := range out.Edges() {
+		for i, v := range e {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%d", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunEconn implements cmd/econn.
+func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("econn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 0, "number of vertices (required)")
+	r := fs.Int("r", 2, "maximum hyperedge cardinality")
+	k := fs.Int("k", 4, "cut values below k are exact; larger report '>= k'")
+	seed := fs.Uint64("seed", 1, "random seed")
+	st := fs.String("st", "", "report the s-t cut for this 'u,v' pair instead of the global min cut")
+	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return errors.New("need -n >= 2")
+	}
+	dom, err := graph.NewDomain(*n, *r)
+	if err != nil {
+		return err
+	}
+	s := edgeconn.New(*seed, dom, *k, sketch.SpanningConfig{})
+	updates, err := readAndApply(*file, stdin, s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "stream: %d updates; sketch %d KiB (k=%d skeleton)\n",
+		len(updates), s.Words()*8/1024, *k)
+
+	if *st != "" {
+		set, err := parseVertexSet(*st, *n)
+		if err != nil || len(set) != 2 {
+			return fmt.Errorf("-st wants 'u,v': %v", err)
+		}
+		var uv []int
+		for v := range set {
+			uv = append(uv, v)
+		}
+		cut, err := s.STCut(uv[0], uv[1])
+		if err != nil {
+			return err
+		}
+		if cut >= int64(*k) {
+			fmt.Fprintf(stdout, "λ(%s) >= %d (raise -k for the exact value)\n", *st, *k)
+		} else {
+			fmt.Fprintf(stdout, "λ(%s) = %d\n", *st, cut)
+		}
+		return nil
+	}
+	lambda, side, err := s.EdgeConnectivity()
+	if err != nil {
+		return err
+	}
+	if lambda >= int64(*k) {
+		fmt.Fprintf(stdout, "edge connectivity >= %d (raise -k for the exact value)\n", *k)
+		return nil
+	}
+	fmt.Fprintf(stdout, "edge connectivity = %d\n", lambda)
+	fmt.Fprintf(stdout, "witness side: %v\n", side)
+	return nil
+}

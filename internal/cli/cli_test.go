@@ -1,0 +1,259 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+// streamText renders a workload graph as a stream file body.
+func streamText(t *testing.T, g interface {
+	EdgeCount() int
+}, st stream.Stream) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := stream.WriteText(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunVconnQueryAndEstimate(t *testing.T) {
+	// H_{4,16} is 4-vertex-connected: no 2-set disconnects it.
+	h := workload.MustHarary(16, 4)
+	in := streamText(t, h, stream.FromGraph(h))
+
+	var out, errOut bytes.Buffer
+	err := RunVconn([]string{"-n", "16", "-k", "2", "-subgraphs", "128", "-estimate", "-query", "3,7"},
+		strings.NewReader(in), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "leaves the graph connected") {
+		t.Fatalf("query output: %q", got)
+	}
+	if !strings.Contains(got, "vertex connectivity >= 2") {
+		t.Fatalf("estimate output: %q", got)
+	}
+	if !strings.Contains(errOut.String(), "stream: 32 updates") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunVconnDetectsSeparator(t *testing.T) {
+	sc, err := workload.SharedCliques(6, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := streamText(t, sc, stream.FromGraph(sc))
+	var out, errOut bytes.Buffer
+	if err := RunVconn([]string{"-n", "10", "-k", "2", "-subgraphs", "96", "-query", "0,1"},
+		strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DISCONNECTS") {
+		t.Fatalf("separator not detected: %q", out.String())
+	}
+}
+
+func TestRunVconnValidation(t *testing.T) {
+	if err := RunVconn([]string{"-n", "1", "-query", "0"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := RunVconn([]string{"-n", "8"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := RunVconn([]string{"-n", "8", "-query", "99"}, strings.NewReader("+ 0 1\n"), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("out-of-range query vertex accepted")
+	}
+}
+
+func TestRunVconnSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "state.bin")
+
+	// First half: a path 0-1-2.
+	var out, errOut bytes.Buffer
+	if err := RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "24", "-save", ck},
+		strings.NewReader("+ 0 1\n+ 1 2\n"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatal(err)
+	}
+	// Second half resumes: extend to 0-1-2-3; vertex 1 is a cut vertex.
+	out.Reset()
+	if err := RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "24", "-load", ck, "-query", "1"},
+		strings.NewReader("+ 2 3\n"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DISCONNECTS") {
+		t.Fatalf("resumed query wrong: %q", out.String())
+	}
+}
+
+func TestRunSparsifyOutputsWeightedEdges(t *testing.T) {
+	h := workload.Cycle(10)
+	in := streamText(t, h, stream.FromGraph(h))
+	var out, errOut bytes.Buffer
+	if err := RunSparsify([]string{"-n", "10", "-K", "4"},
+		strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("sparsifier lines = %d, want 10 (cycle is light at K=4)", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "1 ") {
+			t.Fatalf("expected unit weights, got %q", l)
+		}
+	}
+}
+
+func TestRunReconstructPaperExample(t *testing.T) {
+	g := workload.PaperExample()
+	in := streamText(t, g, stream.FromGraph(g))
+	var out, errOut bytes.Buffer
+	if err := RunReconstruct([]string{"-n", "8", "-k", "2"},
+		strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != g.EdgeCount() {
+		t.Fatalf("recovered %d edges, want %d", len(lines), g.EdgeCount())
+	}
+}
+
+func TestRunReconstructRejectsNonDegenerate(t *testing.T) {
+	g := workload.Complete(6)
+	in := streamText(t, g, stream.FromGraph(g))
+	var out, errOut bytes.Buffer
+	err := RunReconstruct([]string{"-n", "6", "-k", "2"}, strings.NewReader(in), &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "not 2-cut-degenerate") {
+		t.Fatalf("want not-cut-degenerate error, got %v", err)
+	}
+	// -light succeeds and prints the (empty) light set.
+	out.Reset()
+	if err := RunReconstruct([]string{"-n", "6", "-k", "2", "-light"},
+		strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Fatalf("light_2(K6) should be empty, got %q", out.String())
+	}
+}
+
+func TestRunEconnGlobalAndST(t *testing.T) {
+	h := workload.Cycle(12)
+	in := streamText(t, h, stream.FromGraph(h))
+	var out, errOut bytes.Buffer
+	if err := RunEconn([]string{"-n", "12", "-k", "4"},
+		strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "edge connectivity = 2") {
+		t.Fatalf("λ(C12) output: %q", out.String())
+	}
+	out.Reset()
+	if err := RunEconn([]string{"-n", "12", "-k", "4", "-st", "0,6"},
+		strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "= 2") {
+		t.Fatalf("s-t cut output: %q", out.String())
+	}
+}
+
+func TestRunEconnBadArgs(t *testing.T) {
+	if err := RunEconn([]string{"-n", "0"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := RunEconn([]string{"-n", "8", "-st", "1"}, strings.NewReader("+ 0 1\n"), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed -st accepted")
+	}
+}
+
+func TestMissingStreamFile(t *testing.T) {
+	err := RunEconn([]string{"-n", "8", "-stream", "/nonexistent/file"},
+		strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	h := workload.Cycle(12)
+	in := streamText(t, h, stream.FromGraph(h))
+	for _, prof := range []string{"lean", "balanced"} {
+		var out, errOut bytes.Buffer
+		if err := RunVconn([]string{"-n", "12", "-k", "2", "-profile", prof, "-estimate"},
+			strings.NewReader(in), &out, &errOut); err != nil {
+			t.Fatalf("%s: %v", prof, err)
+		}
+		if !strings.Contains(out.String(), "vertex connectivity >= 2") {
+			t.Fatalf("%s estimate: %q", prof, out.String())
+		}
+	}
+	var out, errOut bytes.Buffer
+	if err := RunVconn([]string{"-n", "12", "-k", "2", "-profile", "bogus", "-estimate"},
+		strings.NewReader(in), &out, &errOut); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}
+
+func TestRunGenstreamFamilies(t *testing.T) {
+	for _, fam := range []string{"er", "harary", "cliques", "uniform", "planted",
+		"hypercomm", "chunglu", "ba", "grid", "cycle", "complete", "paper"} {
+		var out, errOut bytes.Buffer
+		args := []string{"-family", fam, "-n", "12", "-k", "2", "-m", "20"}
+		if err := RunGenstream(args, &out, &errOut); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		// The output (minus the comment) must parse as a valid stream.
+		st, err := stream.ReadText(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%s: output does not parse: %v", fam, err)
+		}
+		if len(st) == 0 {
+			t.Fatalf("%s: empty stream", fam)
+		}
+	}
+}
+
+func TestRunGenstreamChurnMaterializes(t *testing.T) {
+	for _, extra := range [][]string{{}, {"-window"}} {
+		var out, errOut bytes.Buffer
+		args := append([]string{"-family", "cycle", "-n", "10", "-churn", "1.5"}, extra...)
+		if err := RunGenstream(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		st, err := stream.ReadText(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stream.Materialize(st, 10, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.EdgeCount() != 10 {
+			t.Fatalf("churned stream materializes to %d edges, want 10 (%v)", got.EdgeCount(), extra)
+		}
+		stats, _ := stream.Summarize(st, 10, 2)
+		if stats.Deletes == 0 {
+			t.Fatalf("churn produced no deletes (%v)", extra)
+		}
+	}
+}
+
+func TestRunGenstreamUnknownFamily(t *testing.T) {
+	if err := RunGenstream([]string{"-family", "nope"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+// RunGenstream implements cmd/genstream: emit a workload family as a
+// dynamic-stream file.
+func RunGenstream(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("genstream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	family := fs.String("family", "er", "er | harary | cliques | cliquetree | uniform | planted | hypercomm | chunglu | ba | grid | cycle | complete | paper")
+	n := fs.Int("n", 32, "number of vertices")
+	k := fs.Int("k", 3, "connectivity / separator / clique parameter (family-specific)")
+	r := fs.Int("r", 3, "hyperedge cardinality (hypergraph families)")
+	m := fs.Int("m", 100, "edge count (families that take one)")
+	p := fs.Float64("p", 0.2, "edge probability (er)")
+	churn := fs.Float64("churn", 0, "transient edges as a fraction of final edges")
+	window := fs.Bool("window", false, "emit a sliding-window stream instead of two-phase churn")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, 0x9e3779b9))
+	var g *graph.Hypergraph
+	var err error
+	switch *family {
+	case "er":
+		g = workload.ErdosRenyi(rng, *n, *p)
+	case "harary":
+		g, err = workload.Harary(*n, *k)
+	case "cliques":
+		g, err = workload.SharedCliques(*n/2+*k/2, *n/2+*k/2, *k)
+	case "cliquetree":
+		g = workload.CliqueTree(rng, *m, *k+1)
+	case "uniform":
+		g = workload.UniformHypergraph(rng, *n, *r, *m)
+	case "planted":
+		g = workload.PlantedCutHypergraph(rng, *n, *r, *m/2, *k)
+	case "hypercomm":
+		g = workload.SharedHyperCommunities(rng, *n/2+*k/2, *k, *r, *m/2)
+	case "chunglu":
+		g = workload.ChungLu(rng, *n, 2.5, float64(*k)+2)
+	case "ba":
+		g = workload.PreferentialAttachment(rng, *n, *k)
+	case "grid":
+		g = workload.Grid(*n, *n)
+	case "cycle":
+		g = workload.Cycle(*n)
+	case "complete":
+		g = workload.Complete(*n)
+	case "paper":
+		g = workload.PaperExample()
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if err != nil {
+		return err
+	}
+	if g.EdgeCount() == 0 {
+		return errors.New("family produced no edges")
+	}
+
+	var st stream.Stream
+	switch {
+	case *churn > 0 && *window:
+		// Sliding window: transient edges first, final edges last, window
+		// sized so exactly the transients expire.
+		transients := churnGraph(rng, g, *churn)
+		var seq []graph.Hyperedge
+		for _, e := range transients.Edges() {
+			if !g.Has(e) {
+				seq = append(seq, e)
+			}
+		}
+		seq = append(seq, g.Edges()...)
+		st = stream.SlidingWindow(seq, g.EdgeCount())
+	case *churn > 0:
+		st = stream.WithChurn(g, churnGraph(rng, g, *churn), rng)
+	default:
+		st = stream.Shuffled(stream.FromGraph(g), rng)
+	}
+
+	fmt.Fprintf(stderr, "genstream: family=%s n=%d final edges=%d stream updates=%d\n",
+		*family, g.N(), g.EdgeCount(), len(st))
+	fmt.Fprintf(stdout, "# family=%s n=%d r=%d final_edges=%d seed=%d\n", *family, g.N(), g.R(), g.EdgeCount(), *seed)
+	return stream.WriteText(stdout, st)
+}
+
+// churnGraph draws a transient-edge graph sized as a fraction of g.
+func churnGraph(rng *rand.Rand, g *graph.Hypergraph, frac float64) *graph.Hypergraph {
+	count := int(frac * float64(g.EdgeCount()))
+	if count < 1 {
+		count = 1
+	}
+	if g.R() > 2 {
+		return workload.MixedHypergraph(rng, g.N(), g.R(), count)
+	}
+	n := g.N()
+	p := 2 * float64(count) / float64(n*(n-1))
+	if p > 1 {
+		p = 1
+	}
+	return workload.ErdosRenyi(rng, n, p)
+}

@@ -1,0 +1,83 @@
+// Package commsim simulates the simultaneous communication model of Becker
+// et al. that the paper frames its sketches in (Section 2): n players
+// P_1, …, P_n and a referee Q. Player P_v's input is the set of hyperedges
+// incident to vertex v; all players share public random bits (here: the
+// sketch seed); each player sends one message to Q, and Q must compute the
+// answer from the n messages alone.
+//
+// Because every sketch in this repository is vertex-based, player P_v can
+// evaluate exactly vertex v's share of the sketch from its own input, and
+// the referee reassembles the full sketch by linear merging. The simulation
+// actually serializes each message to bytes and reports the maximum and
+// total message sizes — the protocol's cost measure.
+package commsim
+
+import (
+	"fmt"
+
+	"graphsketch/internal/graph"
+)
+
+// Protocol is a vertex-based sketch viewed as a one-round protocol: a
+// player instance consumes its incident edges and emits its vertex share; a
+// referee instance absorbs shares. All sketches in internal/sketch and
+// internal/core satisfy this.
+type Protocol interface {
+	Update(e graph.Hyperedge, delta int64) error
+	VertexShare(v int) []byte
+	AddVertexShare(v int, data []byte) error
+}
+
+// Result reports the communication cost of a run.
+type Result struct {
+	Players         int
+	MaxMessageBytes int
+	TotalBytes      int
+}
+
+// MeanMessageBytes returns the average message size.
+func (r Result) MeanMessageBytes() float64 {
+	if r.Players == 0 {
+		return 0
+	}
+	return float64(r.TotalBytes) / float64(r.Players)
+}
+
+// Run executes the protocol on hypergraph h: for each vertex v a fresh
+// player sketch (same public randomness — newPlayer must construct
+// identically-seeded instances) receives exactly the hyperedges incident to
+// v, serializes its share of vertex v, and the referee merges it. After Run
+// returns, the referee holds precisely the sketch of h and can be decoded
+// by the caller.
+//
+// Correctness relies on linearity: each hyperedge e is fed to |e| players,
+// but player P_v's share of vertex v only accumulates v's own samplers, so
+// the merged referee state equals the single-machine sketch of h.
+func Run(h *graph.Hypergraph, newPlayer func() Protocol, referee Protocol) (Result, error) {
+	n := h.N()
+	res := Result{Players: n}
+	// Incidence lists.
+	inc := make([][]graph.WeightedEdge, n)
+	for _, we := range h.WeightedEdges() {
+		for _, v := range we.E {
+			inc[v] = append(inc[v], we)
+		}
+	}
+	for v := 0; v < n; v++ {
+		player := newPlayer()
+		for _, we := range inc[v] {
+			if err := player.Update(we.E, we.W); err != nil {
+				return res, fmt.Errorf("commsim: player %d: %w", v, err)
+			}
+		}
+		msg := player.VertexShare(v)
+		if len(msg) > res.MaxMessageBytes {
+			res.MaxMessageBytes = len(msg)
+		}
+		res.TotalBytes += len(msg)
+		if err := referee.AddVertexShare(v, msg); err != nil {
+			return res, fmt.Errorf("commsim: referee merging player %d: %w", v, err)
+		}
+	}
+	return res, nil
+}

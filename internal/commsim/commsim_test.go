@@ -1,0 +1,132 @@
+package commsim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch/internal/core/reconstruct"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/sketch"
+	"graphsketch/internal/workload"
+)
+
+func TestSpanningProtocolMatchesSingleMachine(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	h := workload.ErdosRenyi(rng, 20, 0.25)
+	dom := h.Domain()
+	cfg := sketch.SpanningConfig{}
+	const seed = 77
+
+	referee := sketch.NewSpanning(seed, dom, cfg)
+	res, err := Run(h, func() Protocol { return sketch.NewSpanning(seed, dom, cfg) }, referee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMessageBytes == 0 {
+		t.Fatal("no communication happened")
+	}
+
+	// The referee's decode must match a single-machine sketch of h.
+	direct := sketch.NewSpanning(seed, dom, cfg)
+	if err := direct.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	fRef, err := referee.SpanningGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fDir, err := direct.SpanningGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fRef.Equal(fDir) {
+		t.Fatal("referee decode differs from single-machine decode")
+	}
+	// And it must be a valid spanning graph.
+	dh := graphalg.ComponentsOf(h)
+	df := graphalg.ComponentsOf(fRef)
+	for u := 0; u < h.N(); u++ {
+		for v := u + 1; v < h.N(); v++ {
+			if dh.Same(u, v) != df.Same(u, v) {
+				t.Fatal("protocol spanning graph has wrong connectivity")
+			}
+		}
+	}
+}
+
+func TestSkeletonProtocol(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	h := workload.ErdosRenyi(rng, 12, 0.4)
+	dom := h.Domain()
+	cfg := sketch.SpanningConfig{}
+	const seed = 99
+
+	referee := sketch.NewSkeleton(seed, dom, 2, cfg)
+	if _, err := Run(h, func() Protocol { return sketch.NewSkeleton(seed, dom, 2, cfg) }, referee); err != nil {
+		t.Fatal(err)
+	}
+	skel, err := referee.Skeleton()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range skel.Edges() {
+		if !h.Has(e) {
+			t.Fatalf("protocol skeleton fabricated edge %v", e)
+		}
+	}
+}
+
+func TestReconstructProtocolPaperExample(t *testing.T) {
+	// Full end-to-end of the paper's referee story: players send
+	// O(d polylog n) bits each, the referee reconstructs the
+	// 2-cut-degenerate example exactly.
+	h := workload.PaperExample()
+	dom := h.Domain()
+	cfg := sketch.SpanningConfig{}
+	const seed = 13
+
+	referee := reconstruct.New(seed, dom, 2, cfg)
+	res, err := Run(h, func() Protocol { return reconstruct.New(seed, dom, 2, cfg) }, referee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := referee.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(h) {
+		t.Fatal("referee failed to reconstruct the paper example")
+	}
+	t.Logf("max message %d bytes, total %d bytes", res.MaxMessageBytes, res.TotalBytes)
+}
+
+func TestMessageSizeTracksDegree(t *testing.T) {
+	// A star: the hub's message should be the largest.
+	n := 16
+	h := graph.NewGraph(n)
+	for v := 1; v < n; v++ {
+		h.AddSimple(0, v)
+	}
+	dom := h.Domain()
+	cfg := sketch.SpanningConfig{}
+	const seed = 5
+
+	sizes := make([]int, n)
+	for v := 0; v < n; v++ {
+		p := sketch.NewSpanning(seed, dom, cfg)
+		for _, e := range h.Edges() {
+			if e.Contains(v) {
+				if err := p.Update(e, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sizes[v] = len(p.VertexShare(v))
+	}
+	for v := 1; v < n; v++ {
+		if sizes[0] < sizes[v] {
+			t.Fatalf("hub message (%d) smaller than leaf %d (%d)", sizes[0], v, sizes[v])
+		}
+	}
+}

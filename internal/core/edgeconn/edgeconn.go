@@ -1,0 +1,131 @@
+// Package edgeconn derives edge-connectivity answers from the paper's
+// k-skeleton sketches (Theorem 14). For a k-skeleton H' of G,
+// |δ_H'(S)| ≥ min(|δ_G(S)|, k) for every cut while H' ⊆ G, so
+//
+//	λ(H') = λ(G)   whenever λ(G) < k,   and   λ(H') ≥ k otherwise,
+//
+// which makes a single skeleton sketch a one-pass dynamic-stream structure
+// for: testing k-edge-connectivity, computing the exact global minimum cut
+// below k (with a witness side), and answering capped s–t cut queries.
+// Applied to hypergraphs this is the edge-connectivity counterpart of the
+// paper's Theorem 13 ("the first dynamic graph algorithm for hypergraph
+// connectivity"), and the baseline the vertex-connectivity results of
+// Section 3 are contrasted against: edge connectivity upper-bounds vertex
+// connectivity but can be arbitrarily larger (see workload.SharedCliques).
+package edgeconn
+
+import (
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/sketch"
+)
+
+// Sketch answers edge-connectivity questions about a dynamic hypergraph
+// stream, with all cut values capped at its parameter k.
+type Sketch struct {
+	k        int
+	skeleton *sketch.SkeletonSketch
+	decoded  *graph.Hypergraph // cached skeleton; nil when stale
+}
+
+// New returns a sketch able to resolve edge-connectivity values in [0, k)
+// exactly and detect "≥ k". Size O(k·n·polylog n) words.
+func New(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
+	if k < 1 {
+		panic("edgeconn: need k >= 1")
+	}
+	return &Sketch{k: k, skeleton: sketch.NewSkeleton(seed, dom, k, cfg)}
+}
+
+// Update applies a hyperedge insertion (+1) or deletion (−1).
+func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
+	s.decoded = nil
+	return s.skeleton.Update(e, delta)
+}
+
+// UpdateGraph applies every edge of h scaled by scale.
+func (s *Sketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
+	s.decoded = nil
+	return s.skeleton.UpdateGraph(h, scale)
+}
+
+// Skeleton decodes (and caches) the k-skeleton.
+func (s *Sketch) Skeleton() (*graph.Hypergraph, error) {
+	if s.decoded == nil {
+		skel, err := s.skeleton.Skeleton()
+		if err != nil {
+			return nil, err
+		}
+		s.decoded = skel
+	}
+	return s.decoded, nil
+}
+
+// EdgeConnectivity returns min(λ(G), k) together with a witness side when
+// the value is below k (the side realizes a minimum cut of G; when the
+// returned value equals k the side is nil and λ(G) ≥ k).
+func (s *Sketch) EdgeConnectivity() (int64, []int, error) {
+	skel, err := s.Skeleton()
+	if err != nil {
+		return 0, nil, err
+	}
+	lambda, side, err := graphalg.GlobalMinCutAll(skel)
+	if err != nil {
+		return 0, nil, err
+	}
+	if lambda >= int64(s.k) {
+		return int64(s.k), nil, nil
+	}
+	return lambda, side, nil
+}
+
+// IsKEdgeConnected reports whether λ(G) ≥ k. The answer is exact (up to the
+// sketch's decode failure probability): a cut of G below k survives into the
+// skeleton with its exact weight, and the skeleton is a subgraph so it never
+// exaggerates connectivity.
+func (s *Sketch) IsKEdgeConnected() (bool, error) {
+	lambda, _, err := s.EdgeConnectivity()
+	if err != nil {
+		return false, err
+	}
+	return lambda >= int64(s.k), nil
+}
+
+// STCut returns min(λ(u,v), k): the minimum weight of hyperedges separating
+// u from v, capped at k. Cuts below k are preserved exactly by the skeleton.
+func (s *Sketch) STCut(u, v int) (int64, error) {
+	skel, err := s.Skeleton()
+	if err != nil {
+		return 0, err
+	}
+	return graphalg.STEdgeCut(skel, u, v, int64(s.k)), nil
+}
+
+// Connected reports whether the sketched hypergraph is connected (the k = 1
+// question; any k-skeleton contains a spanning graph).
+func (s *Sketch) Connected() (bool, error) {
+	skel, err := s.Skeleton()
+	if err != nil {
+		return false, err
+	}
+	return graphalg.Connected(skel), nil
+}
+
+// K returns the cap parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Words returns the memory footprint in 64-bit words.
+func (s *Sketch) Words() int { return s.skeleton.Words() }
+
+// VertexWords returns vertex v's share (per-player message size).
+func (s *Sketch) VertexWords(v int) int { return s.skeleton.VertexWords(v) }
+
+// VertexShare serializes vertex v's share for the simultaneous
+// communication model.
+func (s *Sketch) VertexShare(v int) []byte { return s.skeleton.VertexShare(v) }
+
+// AddVertexShare merges a serialized vertex share (same seed/shape).
+func (s *Sketch) AddVertexShare(v int, data []byte) error {
+	s.decoded = nil
+	return s.skeleton.AddVertexShare(v, data)
+}

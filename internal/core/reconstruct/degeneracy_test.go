@@ -1,0 +1,75 @@
+package reconstruct
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/sketch"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+func TestDegeneracySketchExactValues(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 1))
+	cases := []struct {
+		name string
+		g    *graph.Hypergraph
+		want int64
+	}{
+		{"paper example (cut-deg 2)", workload.PaperExample(), 2},
+		{"clique tree q=4 (cut-deg 3)", workload.CliqueTree(rng, 4, 4), 3},
+		{"cycle (cut-deg 2)", workload.Cycle(12), 2},
+	}
+	for _, tc := range cases {
+		s, err := NewDegeneracySketch(7, tc.g.Domain(), 4, sketch.SpanningConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn := workload.ErdosRenyi(rng, tc.g.N(), 0.2)
+		if err := stream.Apply(stream.WithChurn(tc.g, churn, rng), s); err != nil {
+			t.Fatal(err)
+		}
+		got, recovered, err := s.CutDegeneracy()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: cut-degeneracy %d, want %d", tc.name, got, tc.want)
+		}
+		if !recovered.Equal(tc.g) {
+			t.Fatalf("%s: recovered graph differs", tc.name)
+		}
+	}
+}
+
+func TestDegeneracySketchAboveDMax(t *testing.T) {
+	// K8 has cut-degeneracy 7 > DMax = 2; the sketch must say so, not
+	// fabricate a value.
+	g := workload.Complete(8)
+	s, err := NewDegeneracySketch(9, g.Domain(), 2, sketch.SpanningConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Apply(stream.FromGraph(g), s); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.CutDegeneracy(); !errors.Is(err, ErrAboveDMax) {
+		t.Fatalf("want ErrAboveDMax, got %v", err)
+	}
+}
+
+func TestDegeneracySketchValidation(t *testing.T) {
+	g := workload.Cycle(6)
+	if _, err := NewDegeneracySketch(1, g.Domain(), 0, sketch.SpanningConfig{}); err == nil {
+		t.Fatal("DMax=0 accepted")
+	}
+	s, err := NewDegeneracySketch(1, g.Domain(), 5, sketch.SpanningConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scales() != 4 { // 1, 2, 4, 8
+		t.Fatalf("scales = %d, want 4", s.Scales())
+	}
+}

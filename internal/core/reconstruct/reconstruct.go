@@ -1,0 +1,154 @@
+// Package reconstruct implements the paper's Section 4: reconstructing
+// cut-degenerate hypergraphs — and, more generally, the light-edge set
+// light_k(G) — from vertex-based linear sketches (Theorem 15), plus the
+// Becker et al. d-degenerate reconstruction as the baseline it strictly
+// generalizes.
+//
+// The light_k recursion is E_i = {e : λ_e(G − E_1 − … − E_{i−1}) ≤ k} and
+// light_k(G) = ∪ E_i. The sketch is a single (k+1)-skeleton sketch stack;
+// each round decodes a (k+1)-skeleton of the current graph (the already
+// identified E_j peeled off by linearity), finds its weak edges — by
+// Lemma 12 exactly E_i — and continues. Because the E_i are determined by
+// the input graph alone (not by sketch randomness), reusing the same
+// sketch across rounds is a *valid* union bound, in contrast to the
+// within-skeleton peeling that needs independent layers (Section 4.2; the
+// distinction is exercised by experiment E10).
+package reconstruct
+
+import (
+	"errors"
+	"fmt"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/sketch"
+)
+
+// ErrIncomplete is returned by Reconstruct when the graph was not
+// k-cut-degenerate: light_k(G) was recovered but edges remain beyond it.
+var ErrIncomplete = errors.New("reconstruct: graph is not k-cut-degenerate; recovered light_k only")
+
+// Sketch reconstructs light_k(G) for simple (unit-weight) hypergraphs.
+type Sketch struct {
+	k        int
+	skeleton *sketch.SkeletonSketch
+}
+
+// New returns a light_k reconstruction sketch: a (k+1)-skeleton sketch
+// stack of size O(k·n·polylog n) words.
+func New(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
+	if k < 1 {
+		panic("reconstruct: need k >= 1")
+	}
+	return &Sketch{k: k, skeleton: sketch.NewSkeleton(seed, dom, k+1, cfg)}
+}
+
+// Update applies a hyperedge insertion (+1) or deletion (−1).
+func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
+	return s.skeleton.Update(e, delta)
+}
+
+// UpdateGraph applies every edge of h scaled by scale.
+func (s *Sketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
+	return s.skeleton.UpdateGraph(h, scale)
+}
+
+// LightEdges recovers light_k(G) from the sketch. Each round decodes a
+// (k+1)-skeleton of G minus everything recovered so far, extracts its weak
+// edges (λ_e ≤ k, which Lemma 12 certifies equals the true E_i), subtracts
+// them, and repeats; at most n rounds are needed since every nonempty E_i
+// splits off components.
+func (s *Sketch) LightEdges() (*graph.Hypergraph, error) {
+	return s.LightEdgesMinus(nil)
+}
+
+// LightEdgesMinus recovers light_k(G − sub) for a known unit-weight
+// subgraph sub, peeled from the sketch by linearity. The sparsifier uses
+// this to compute F_i = light_k(G_i − F_0 − … − F_{i−1}) from the level-i
+// sketch. A nil sub means light_k(G).
+func (s *Sketch) LightEdgesMinus(sub *graph.Hypergraph) (*graph.Hypergraph, error) {
+	dom := s.skeleton.Domain()
+	light := graph.MustHypergraph(dom.N(), dom.R())
+	work := s.skeleton.Clone()
+	if sub != nil {
+		if err := work.UpdateGraph(sub, -1); err != nil {
+			return nil, err
+		}
+	}
+	for round := 0; round < dom.N(); round++ {
+		skel, err := work.Skeleton()
+		if err != nil {
+			return nil, fmt.Errorf("reconstruct: round %d: %w", round, err)
+		}
+		weak := graphalg.WeakEdges(skel, int64(s.k))
+		if len(weak) == 0 {
+			return light, nil
+		}
+		peeled := graph.MustHypergraph(dom.N(), dom.R())
+		for _, e := range weak {
+			peeled.MustAddEdge(e, 1)
+			light.MustAddEdge(e, 1)
+		}
+		if err := work.UpdateGraph(peeled, -1); err != nil {
+			return nil, err
+		}
+	}
+	return light, nil
+}
+
+// Reconstruct returns the full edge set of G when G is k-cut-degenerate
+// (light_k(G) = E). If edges remain beyond light_k, it returns the
+// recovered light set together with ErrIncomplete — detected via the
+// residual skeleton being nonempty.
+func (s *Sketch) Reconstruct() (*graph.Hypergraph, error) {
+	light, err := s.LightEdges()
+	if err != nil {
+		return nil, err
+	}
+	// Residual check: after peeling light_k, a skeleton of the remainder
+	// must be empty iff the reconstruction is complete.
+	work := s.skeleton.Clone()
+	if err := work.UpdateGraph(light, -1); err != nil {
+		return nil, err
+	}
+	rest, err := work.Skeleton()
+	if err != nil {
+		return nil, err
+	}
+	if rest.EdgeCount() != 0 {
+		return light, ErrIncomplete
+	}
+	return light, nil
+}
+
+// SkeletonMinus decodes a (k+1)-skeleton of G − sub for a known
+// unit-weight subgraph sub. The sparsifier's residual check uses this to
+// certify that nothing remains beyond the deepest level.
+func (s *Sketch) SkeletonMinus(sub *graph.Hypergraph) (*graph.Hypergraph, error) {
+	work := s.skeleton.Clone()
+	if sub != nil {
+		if err := work.UpdateGraph(sub, -1); err != nil {
+			return nil, err
+		}
+	}
+	return work.Skeleton()
+}
+
+// K returns the degeneracy parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Words returns the memory footprint in 64-bit words.
+func (s *Sketch) Words() int { return s.skeleton.Words() }
+
+// VertexWords returns vertex v's share (simultaneous-communication message
+// size).
+func (s *Sketch) VertexWords(v int) int { return s.skeleton.VertexWords(v) }
+
+// VertexShare serializes vertex v's share of the underlying skeleton stack
+// (the per-player message in the simultaneous communication model).
+func (s *Sketch) VertexShare(v int) []byte { return s.skeleton.VertexShare(v) }
+
+// AddVertexShare merges a serialized vertex share (same seed/shape).
+func (s *Sketch) AddVertexShare(v int, data []byte) error {
+	return s.skeleton.AddVertexShare(v, data)
+}

@@ -1,0 +1,11 @@
+package sparsify
+
+import (
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+)
+
+// minCutOn isolates the graphalg dependency of the cut oracle.
+func minCutOn(sp *graph.Hypergraph, verts []int) (int64, []int, error) {
+	return graphalg.GlobalMinCut(sp, verts)
+}

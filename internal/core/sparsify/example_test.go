@@ -1,0 +1,35 @@
+package sparsify_test
+
+import (
+	"fmt"
+
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/graph"
+)
+
+// Example sparsifies a small dense hypergraph stream and queries a cut
+// through the oracle.
+func Example() {
+	s, err := sparsify.New(sparsify.Params{N: 6, R: 3, K: 6, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	edges := []graph.Hyperedge{
+		graph.MustEdge(0, 1, 2), graph.MustEdge(1, 2, 3),
+		graph.MustEdge(3, 4, 5), graph.MustEdge(2, 3),
+		graph.MustEdge(0, 2), graph.MustEdge(4, 5),
+	}
+	for _, e := range edges {
+		if err := s.Update(e, 1); err != nil {
+			panic(err)
+		}
+	}
+	o, err := s.Oracle()
+	if err != nil {
+		panic(err)
+	}
+	// At K above every strength the sparsifier is exact: the cut
+	// ({0,1,2}, {3,4,5}) has exactly 2 crossing hyperedges.
+	fmt.Println(o.CutWeight(func(v int) bool { return v < 3 }))
+	// Output: 2
+}

@@ -1,0 +1,128 @@
+package vertexconn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+func TestEstimatorExactOnHarary(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		var h *graph.Hypergraph
+		if k == 1 {
+			h = pathGraph(20) // κ = 1; Harary is defined for k >= 2
+		} else {
+			h = workload.MustHarary(20, k)
+		}
+		e, err := NewEstimator(EstimatorParams{N: 20, KMax: 6, Seed: uint64(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stream.Apply(stream.FromGraph(h), e); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != int64(k) {
+			t.Fatalf("κ(H_{%d,20}): estimate %d, want %d", k, got, k)
+		}
+	}
+}
+
+func pathGraph(n int) *graph.Hypergraph {
+	h := graph.NewGraph(n)
+	for i := 0; i < n-1; i++ {
+		h.AddSimple(i, i+1)
+	}
+	return h
+}
+
+func TestEstimatorNeverOverestimates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	for trial := 0; trial < 4; trial++ {
+		h := workload.ErdosRenyi(rng, 14, 0.5)
+		trueK := graphalg.VertexConnectivity(h, 8)
+		e, err := NewEstimator(EstimatorParams{N: 14, KMax: 8, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stream.Apply(stream.FromGraph(h), e); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > trueK {
+			t.Fatalf("trial %d: estimate %d > κ %d", trial, got, trueK)
+		}
+	}
+}
+
+func TestEstimatorWithChurn(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	final := workload.MustHarary(16, 3)
+	churn := workload.ErdosRenyi(rng, 16, 0.4)
+	e, err := NewEstimator(EstimatorParams{N: 16, KMax: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Apply(stream.WithChurn(final, churn, rng), e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("estimate after churn = %d, want 3", got)
+	}
+}
+
+func TestEstimatorScalesAndValidation(t *testing.T) {
+	e, err := NewEstimator(EstimatorParams{N: 16, KMax: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scales: 1, 2, 4, 8 (first power of two >= 5).
+	if e.Scales() != 4 {
+		t.Fatalf("scales = %d, want 4", e.Scales())
+	}
+	// Samplers are lazy: a fresh estimator holds no state until an update.
+	if e.Words() != 0 {
+		t.Fatalf("fresh estimator holds %d words; expected lazy allocation", e.Words())
+	}
+	if err := stream.Apply(stream.FromGraph(workload.Cycle(16)), e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Words() == 0 {
+		t.Fatal("zero words after updates")
+	}
+	if _, err := NewEstimator(EstimatorParams{N: 16, KMax: 0}); err == nil {
+		t.Fatal("KMax = 0 accepted")
+	}
+}
+
+func TestEstimatorDisconnected(t *testing.T) {
+	e, err := NewEstimator(EstimatorParams{N: 10, KMax: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := workload.Cycle(5) // vertices 5..9 isolated
+	if err := stream.Apply(stream.FromGraph(h), e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("disconnected graph estimate = %d, want 0", got)
+	}
+}

@@ -1,0 +1,46 @@
+package vertexconn_test
+
+import (
+	"fmt"
+
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+)
+
+// Example streams a small graph with a cut vertex through the Theorem 4
+// query structure and asks two removal questions.
+func Example() {
+	// Two triangles joined at vertex 2.
+	s, err := vertexconn.New(vertexconn.Params{N: 5, K: 1, Subgraphs: 48, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}} {
+		if err := s.Update(graph.MustEdge(e[0], e[1]), 1); err != nil {
+			panic(err)
+		}
+	}
+	hub, _ := s.Disconnects(map[int]bool{2: true})
+	leaf, _ := s.Disconnects(map[int]bool{0: true})
+	fmt.Println(hub, leaf)
+	// Output: true false
+}
+
+// Example_estimate runs the Theorem 8 estimator on a cycle (κ = 2).
+func Example_estimate() {
+	s, err := vertexconn.New(vertexconn.Params{N: 8, K: 2, Subgraphs: 64, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Update(graph.MustEdge(i, (i+1)%8), 1); err != nil {
+			panic(err)
+		}
+	}
+	kappa, err := s.EstimateConnectivity(2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(kappa)
+	// Output: 2
+}

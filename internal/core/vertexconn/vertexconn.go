@@ -1,0 +1,415 @@
+// Package vertexconn implements the paper's Section 3: the first linear
+// sketches for vertex connectivity in dynamic graph streams.
+//
+// Both structures share one idea: maintain spanning-forest sketches for
+// R vertex-subsampled subgraphs G_1, …, G_R, where G_i keeps each vertex
+// independently with probability 1/k (by public randomness, so the
+// subsampling is consistent across insertions and deletions of the same
+// edge). At query time, decode a forest T_i for each G_i and take
+// H = T_1 ∪ … ∪ T_R:
+//
+//   - Query structure (Theorem 4): with R = 16·k²·ln n, for any vertex set
+//     S with |S| ≤ k, H\S is connected iff G\S is connected w.h.p., so H
+//     answers "does removing S disconnect the graph?" in O(kn·polylog n)
+//     space — optimal by the Theorem 5 lower bound.
+//   - Estimator (Theorem 8): with R = 160·k²·ε⁻¹·ln n, the vertex
+//     connectivity of H distinguishes (1+ε)k-vertex-connected graphs from
+//     at most k-vertex-connected ones, in O(kn·ε⁻¹·polylog n) space.
+//
+// The structures work for hypergraphs too (Theorem 13 substitutes the
+// hypergraph spanning sketch): a hyperedge belongs to G_i iff all its
+// endpoints were sampled, and vertex removal uses the same drop-incident
+// semantics.
+package vertexconn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
+	"graphsketch/internal/sketch"
+)
+
+// Params configures a vertex-connectivity sketch.
+type Params struct {
+	// N is the number of vertices; R the maximum hyperedge cardinality
+	// (2 for ordinary graphs).
+	N, R int
+	// K is the connectivity parameter: the maximum query set size
+	// (Theorem 4) or the connectivity scale being estimated (Theorem 8).
+	K int
+	// Subgraphs is the number R of vertex-subsampled subgraphs. Use
+	// TheoryQueryParams / TheoryEstimateParams for the paper's constants,
+	// or set a smaller value for the practical profile (the experiments
+	// chart accuracy against this knob).
+	Subgraphs int
+	// Spanning configures the per-subgraph spanning sketches.
+	Spanning sketch.SpanningConfig
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+// TheoryQueryParams returns the paper's Theorem 4 parameters:
+// R = ⌈16·k²·ln n⌉ subgraphs.
+func TheoryQueryParams(n, r, k int, seed uint64) Params {
+	R := int(math.Ceil(16 * float64(k) * float64(k) * math.Log(float64(n))))
+	return Params{N: n, R: r, K: k, Subgraphs: R, Seed: seed}
+}
+
+// TheoryEstimateParams returns the paper's Theorem 8 parameters:
+// R = ⌈160·k²·ε⁻¹·ln n⌉ subgraphs.
+func TheoryEstimateParams(n, r, k int, eps float64, seed uint64) Params {
+	R := int(math.Ceil(160 * float64(k) * float64(k) / eps * math.Log(float64(n))))
+	return Params{N: n, R: r, K: k, Subgraphs: R, Seed: seed}
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.N < 2 {
+		return p, fmt.Errorf("vertexconn: need N >= 2, got %d", p.N)
+	}
+	if p.R < 2 {
+		p.R = 2
+	}
+	if p.K < 1 {
+		return p, fmt.Errorf("vertexconn: need K >= 1, got %d", p.K)
+	}
+	if p.Subgraphs < 1 {
+		return p, fmt.Errorf("vertexconn: need Subgraphs >= 1, got %d", p.Subgraphs)
+	}
+	return p, nil
+}
+
+// Sketch is the vertex-connectivity sketch. It is linear (edge deletions
+// are negative insertions) and vertex-based: vertex v's share consists of
+// its samplers in the subgraphs that sampled v.
+type Sketch struct {
+	p   Params
+	dom graph.Domain
+	// member[v] is a bitset over subgraph indices: bit i set iff v ∈ G_i.
+	member   [][]uint64
+	sketches []*sketch.SpanningSketch
+	decoded  *graph.Hypergraph // cached H; nil when stale
+}
+
+// New returns an empty vertex-connectivity sketch.
+func New(p Params) (*Sketch, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	dom, err := graph.NewDomain(p.N, p.R)
+	if err != nil {
+		return nil, err
+	}
+	ss := hashutil.NewSeedStream(p.Seed)
+	memberSeeds := ss.Sub(1)
+	words := (p.Subgraphs + 63) / 64
+	member := make([][]uint64, p.N)
+	for v := range member {
+		member[v] = make([]uint64, words)
+	}
+	// G_i keeps each vertex with probability 1/k (deleting with
+	// probability 1 − 1/k, as in Section 3.1).
+	for i := 0; i < p.Subgraphs; i++ {
+		seed := memberSeeds.At(uint64(i))
+		for v := 0; v < p.N; v++ {
+			if hashutil.Bernoulli(seed, uint64(v), 1, uint64(p.K)) {
+				member[v][i/64] |= 1 << uint(i%64)
+			}
+		}
+	}
+	sketchSeeds := ss.Sub(2)
+	sketches := make([]*sketch.SpanningSketch, p.Subgraphs)
+	for i := range sketches {
+		sketches[i] = sketch.NewSpanning(sketchSeeds.At(uint64(i)), dom, p.Spanning)
+	}
+	return &Sketch{p: p, dom: dom, member: member, sketches: sketches}, nil
+}
+
+// InSubgraph reports whether vertex v was sampled into G_i.
+func (s *Sketch) InSubgraph(i, v int) bool {
+	return s.member[v][i/64]&(1<<uint(i%64)) != 0
+}
+
+// Update applies a hyperedge insertion (delta = +1) or deletion (−1). The
+// edge is routed to exactly the sketches of subgraphs containing all of its
+// endpoints; the routing is deterministic, so a later deletion hits the
+// same sketches as the insertion.
+func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
+	if _, err := s.dom.Encode(e); err != nil {
+		return err
+	}
+	s.decoded = nil
+	words := len(s.member[0])
+	// Intersect the endpoint membership bitsets.
+	var buf [64]uint64
+	mask := buf[:0]
+	for w := 0; w < words; w++ {
+		m := s.member[e[0]][w]
+		for _, v := range e[1:] {
+			m &= s.member[v][w]
+		}
+		mask = append(mask, m)
+	}
+	for w, m := range mask {
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			if err := s.sketches[i].Update(e, delta); err != nil {
+				return err
+			}
+			m &= m - 1
+		}
+	}
+	return nil
+}
+
+// BuildH decodes every subgraph's spanning forest and returns their union
+// H = T_1 ∪ … ∪ T_R. The result is cached until the next update. Individual
+// forest decode failures are tolerated up to a small fraction (each forest
+// is one of R redundant witnesses); the count of failures is returned.
+//
+// The R decodes are independent and run on all CPUs; the result is
+// deterministic regardless of scheduling (each decode reads only its own
+// sketch and the union is order-free).
+func (s *Sketch) BuildH() (*graph.Hypergraph, int, error) {
+	if s.decoded != nil {
+		return s.decoded, 0, nil
+	}
+	forests := make([]*graph.Hypergraph, len(s.sketches))
+	errs := make([]error, len(s.sketches))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.sketches) {
+		workers = len(s.sketches)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.sketches) {
+					return
+				}
+				forests[i], errs[i] = s.sketches[i].SpanningGraph()
+			}
+		}()
+	}
+	wg.Wait()
+
+	h := graph.MustHypergraph(s.p.N, s.p.R)
+	failures := 0
+	for i := range forests {
+		if errs[i] != nil {
+			failures++
+			if failures > len(s.sketches)/10+1 {
+				return nil, failures, fmt.Errorf("vertexconn: %d/%d forest decodes failed (subgraph %d): %w",
+					failures, len(s.sketches), i, errs[i])
+			}
+			continue
+		}
+		for _, e := range forests[i].Edges() {
+			if !h.Has(e) {
+				h.MustAddEdge(e, 1)
+			}
+		}
+	}
+	s.decoded = h
+	return h, failures, nil
+}
+
+// ErrQueryTooLarge is returned when a query set exceeds the sketch's K.
+var ErrQueryTooLarge = errors.New("vertexconn: query set larger than sketch parameter K")
+
+// Disconnects answers the Theorem 4 query: does removing the vertex set S
+// (|S| ≤ K) disconnect the graph? Removal uses drop-incident semantics
+// (every hyperedge touching S is removed), the induced-subgraph notion the
+// subsampling is built on; for ordinary graphs this is the standard
+// definition.
+func (s *Sketch) Disconnects(set map[int]bool) (bool, error) {
+	if len(set) > s.p.K {
+		return false, ErrQueryTooLarge
+	}
+	h, _, err := s.BuildH()
+	if err != nil {
+		return false, err
+	}
+	return graphalg.DisconnectsQueryMode(h, set, graph.DropIncident), nil
+}
+
+// EstimateConnectivity post-processes H with the offline vertex-connectivity
+// algorithm (Theorem 8's final step) and returns κ(H) capped at limit. By
+// Corollary 7, if G is (1+ε)k-vertex-connected then κ(H) ≥ k w.h.p., and
+// κ(H) ≤ κ(G) always (H ⊆ G), so the return value distinguishes the two
+// cases. Defined for ordinary graphs (R = 2).
+func (s *Sketch) EstimateConnectivity(limit int64) (int64, error) {
+	if s.p.R != 2 {
+		return 0, errors.New("vertexconn: connectivity estimation is defined for graphs (R = 2)")
+	}
+	h, _, err := s.BuildH()
+	if err != nil {
+		return 0, err
+	}
+	return graphalg.VertexConnectivity(h, limit), nil
+}
+
+// IsKConnected reports whether κ(H) ≥ k, the Theorem 8 decision.
+func (s *Sketch) IsKConnected() (bool, error) {
+	got, err := s.EstimateConnectivity(int64(s.p.K))
+	if err != nil {
+		return false, err
+	}
+	return got >= int64(s.p.K), nil
+}
+
+// Params returns the sketch parameters.
+func (s *Sketch) Params() Params { return s.p }
+
+// Subgraphs returns the number of vertex-subsampled subgraphs R.
+func (s *Sketch) Subgraphs() int { return s.p.Subgraphs }
+
+// Words returns the total memory footprint in 64-bit words, including the
+// (implicit) membership bitsets.
+func (s *Sketch) Words() int {
+	w := 0
+	for _, sk := range s.sketches {
+		w += sk.Words()
+	}
+	return w
+}
+
+// VertexWords returns vertex v's share of the sketch: the message size in
+// the simultaneous communication model (membership is public randomness and
+// costs nothing).
+func (s *Sketch) VertexWords(v int) int {
+	w := 0
+	for i, sk := range s.sketches {
+		if s.InSubgraph(i, v) {
+			w += sk.VertexWords(v)
+		}
+	}
+	return w
+}
+
+// VertexShare serializes vertex v's share: its samplers in every subgraph
+// that sampled v — player P_v's message in the simultaneous communication
+// model (subgraph membership is public randomness).
+func (s *Sketch) VertexShare(v int) []byte {
+	var b []byte
+	for i, sk := range s.sketches {
+		if s.InSubgraph(i, v) {
+			b = append(b, sk.VertexShare(v)...)
+		}
+	}
+	return b
+}
+
+// AddVertexShare merges a serialized vertex share into this sketch. The
+// share must come from a sketch with identical Params.
+func (s *Sketch) AddVertexShare(v int, data []byte) error {
+	s.decoded = nil
+	b := data
+	var err error
+	for i, sk := range s.sketches {
+		if !s.InSubgraph(i, v) {
+			continue
+		}
+		if b, err = sk.AddVertexShareFrom(v, b); err != nil {
+			return err
+		}
+	}
+	if len(b) != 0 {
+		return sketch.ErrShare
+	}
+	return nil
+}
+
+// State serializes the sketch's full contents — every vertex's share in
+// order — for checkpointing a long-running stream consumer. Parameters and
+// membership are the structure's public identity and are not serialized;
+// restore by constructing an identically-parameterized sketch first.
+func (s *Sketch) State() []byte {
+	var b []byte
+	for v := 0; v < s.p.N; v++ {
+		b = append(b, s.VertexShare(v)...)
+	}
+	return b
+}
+
+// AddState merges a serialized state into the sketch (linearly); see
+// sketch.SpanningSketch.AddState for the checkpoint/aggregation semantics.
+func (s *Sketch) AddState(data []byte) error {
+	s.decoded = nil
+	b := data
+	var err error
+	for v := 0; v < s.p.N; v++ {
+		for i, sk := range s.sketches {
+			if !s.InSubgraph(i, v) {
+				continue
+			}
+			if b, err = sk.AddVertexShareFrom(v, b); err != nil {
+				return err
+			}
+		}
+	}
+	if len(b) != 0 {
+		return sketch.ErrShare
+	}
+	return nil
+}
+
+// EstimateConnectivityDrop post-processes H with the exact drop-semantics
+// vertex-connectivity oracle and returns κ_drop(H) capped at limit. Drop
+// semantics (a removed vertex removes every incident hyperedge) is the
+// notion this sketch's subsampling is built on, so this is the natural
+// hypergraph estimator; the oracle is exponential in the removal-set size,
+// so it is intended for small limit (the experiments use limit ≤ 4). As
+// with the graph estimator, H ⊆ G means the value never exceeds κ_drop(G).
+func (s *Sketch) EstimateConnectivityDrop(limit int64) (int64, error) {
+	h, _, err := s.BuildH()
+	if err != nil {
+		return 0, err
+	}
+	return graphalg.VertexConnectivityDrop(h, limit), nil
+}
+
+// DisconnectsWitness answers the Theorem 4 query and, when the removal
+// disconnects, also returns the partition of the surviving vertices into
+// the components of H − S — the actionable half of the answer ("who gets
+// cut off"). Since H preserves G's post-removal connectivity w.h.p.
+// (Lemma 3), the witness partition is correct with the query's failure
+// probability.
+func (s *Sketch) DisconnectsWitness(set map[int]bool) (bool, [][]int, error) {
+	if len(set) > s.p.K {
+		return false, nil, ErrQueryTooLarge
+	}
+	h, _, err := s.BuildH()
+	if err != nil {
+		return false, nil, err
+	}
+	reduced := h.RemoveVertices(func(v int) bool { return set[v] }, graph.DropIncident)
+	d := graphalg.ComponentsOf(reduced)
+	groups := map[int][]int{}
+	for v := 0; v < s.p.N; v++ {
+		if set[v] {
+			continue
+		}
+		r := d.Find(v)
+		groups[r] = append(groups[r], v)
+	}
+	var parts [][]int
+	for _, g := range groups {
+		parts = append(parts, g)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
+	return len(parts) > 1, parts, nil
+}

@@ -1,0 +1,140 @@
+// Package field implements arithmetic in the prime field GF(p) for the
+// Mersenne prime p = 2^61 - 1.
+//
+// Every linear sketch in this repository verifies its decodings with
+// polynomial fingerprints over this field. The Mersenne structure lets us
+// reduce 128-bit products with shifts and adds instead of divisions, which
+// matters because fingerprint updates sit on the hot path of every stream
+// update.
+package field
+
+import "math/bits"
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Elem is a field element. The zero value is the field's zero. Values are
+// kept reduced to [0, P).
+type Elem uint64
+
+// Reduce maps an arbitrary uint64 into [0, P).
+func Reduce(x uint64) Elem {
+	// Fold the top bits down once; x < 2^64 so (x>>61) <= 7 and the sum is
+	// at most P-1 + 7 < 2^61 + 7, so a single conditional subtraction
+	// finishes the job.
+	x = (x & P) + (x >> 61)
+	if x >= P {
+		x -= P
+	}
+	return Elem(x)
+}
+
+// FromInt64 maps a signed integer into the field, interpreting negative
+// values as additive inverses.
+func FromInt64(v int64) Elem {
+	if v >= 0 {
+		return Reduce(uint64(v))
+	}
+	return Neg(Reduce(uint64(-v)))
+}
+
+// Add returns a + b mod P.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Sub returns a - b mod P.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + Elem(P) - b
+}
+
+// Neg returns -a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(P) - a
+}
+
+// Mul returns a * b mod P using a 128-bit intermediate product and Mersenne
+// reduction.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// a*b = hi*2^64 + lo. Since 2^61 = 1 (mod P), 2^64 = 8 (mod P):
+	// a*b = hi*8 + lo (mod P), and hi < 2^58 so hi*8 < 2^61 does not
+	// overflow when combined with the folded lo.
+	lo2 := (lo & P) + (lo >> 61)
+	s := hi<<3 + lo2
+	s = (s & P) + (s >> 61)
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero, which
+// is a programmer error: callers must guard against inverting zero.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	// Fermat: a^(P-2) = a^{-1} mod P for prime P.
+	return Pow(a, P-2)
+}
+
+// ScaleInt64 returns a * v mod P for a signed scalar v.
+func ScaleInt64(a Elem, v int64) Elem {
+	return Mul(a, FromInt64(v))
+}
+
+// Ladder precomputes z^(2^j) for j < 64, turning Pow(z, e) into one
+// multiplication per set bit of e (~32 expected) instead of a full
+// square-and-multiply (~96 operations). Sketches whose cells share a
+// fingerprint point keep one ladder per structure; the table is part of
+// the public randomness and costs no sketch space.
+type Ladder struct {
+	pows [64]Elem
+}
+
+// NewLadder returns the ladder of z.
+func NewLadder(z Elem) *Ladder {
+	var l Ladder
+	cur := z
+	for j := 0; j < 64; j++ {
+		l.pows[j] = cur
+		cur = Mul(cur, cur)
+	}
+	return &l
+}
+
+// Pow returns z^e.
+func (l *Ladder) Pow(e uint64) Elem {
+	result := Elem(1)
+	for e != 0 {
+		j := bits.TrailingZeros64(e)
+		result = Mul(result, l.pows[j])
+		e &= e - 1
+	}
+	return result
+}

@@ -1,0 +1,220 @@
+package field
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func bigP() *big.Int { return new(big.Int).SetUint64(P) }
+
+func refMul(a, b uint64) uint64 {
+	x := new(big.Int).SetUint64(a)
+	y := new(big.Int).SetUint64(b)
+	x.Mul(x, y)
+	x.Mod(x, bigP())
+	return x.Uint64()
+}
+
+func TestReduce(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{P - 1, P - 1},
+		{P, 0},
+		{P + 1, 1},
+		{2 * P, 0},
+		{^uint64(0), (^uint64(0)) % P},
+	}
+	for _, c := range cases {
+		if got := uint64(Reduce(c.in)); got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReduceMatchesMod(t *testing.T) {
+	f := func(x uint64) bool {
+		return uint64(Reduce(x)) == x%P
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Reduce(x), Reduce(y)
+		s := Add(a, b)
+		if uint64(s) != (uint64(a)+uint64(b))%P {
+			return false
+		}
+		// Subtraction inverts addition.
+		return Sub(s, b) == a && Sub(s, a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if Neg(0) != 0 {
+		t.Fatal("Neg(0) != 0")
+	}
+	f := func(x uint64) bool {
+		a := Reduce(x)
+		return Add(a, Neg(a)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAgainstBigInt(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Reduce(x), Reduce(y)
+		return uint64(Mul(a, b)) == refMul(uint64(a), uint64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	edge := []Elem{0, 1, 2, Elem(P - 1), Elem(P - 2), Elem(P / 2), Elem(P/2 + 1)}
+	for _, a := range edge {
+		for _, b := range edge {
+			if got, want := uint64(Mul(a, b)), refMul(uint64(a), uint64(b)); got != want {
+				t.Errorf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		a := Reduce(rng.Uint64())
+		e := rng.Uint64() % 1000
+		want := Elem(1)
+		for j := uint64(0); j < e; j++ {
+			want = Mul(want, a)
+		}
+		if got := Pow(a, e); got != want {
+			t.Fatalf("Pow(%d,%d) = %d, want %d", a, e, got, want)
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 200; i++ {
+		a := Reduce(rng.Uint64())
+		if a == 0 {
+			continue
+		}
+		if Mul(a, Inv(a)) != 1 {
+			t.Fatalf("a * Inv(a) != 1 for a=%d", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestFromInt64(t *testing.T) {
+	if FromInt64(0) != 0 {
+		t.Fatal("FromInt64(0) != 0")
+	}
+	f := func(v int64) bool {
+		if v == -9223372036854775808 {
+			return true // -v overflows; FromInt64 is documented for magnitudes < 2^63
+		}
+		e := FromInt64(v)
+		if v >= 0 {
+			return e == Reduce(uint64(v))
+		}
+		return Add(e, Reduce(uint64(-v))) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleInt64(t *testing.T) {
+	a := Reduce(12345678901234567)
+	if ScaleInt64(a, 1) != a {
+		t.Fatal("scale by 1 changed value")
+	}
+	if ScaleInt64(a, -1) != Neg(a) {
+		t.Fatal("scale by -1 is not negation")
+	}
+	if ScaleInt64(a, 0) != 0 {
+		t.Fatal("scale by 0 is not zero")
+	}
+	if ScaleInt64(a, 3) != Add(a, Add(a, a)) {
+		t.Fatal("scale by 3 mismatch")
+	}
+}
+
+// Distributivity and associativity as algebraic properties.
+func TestFieldAxioms(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		a, b, c := Reduce(x), Reduce(y), Reduce(z)
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		return Mul(a, b) == Mul(b, a) && Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := Reduce(0x123456789abcdef)
+	y := Reduce(0xfedcba987654321)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func TestLadderMatchesPow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 50; trial++ {
+		z := Reduce(rng.Uint64())
+		l := NewLadder(z)
+		for i := 0; i < 50; i++ {
+			e := rng.Uint64()
+			if l.Pow(e) != Pow(z, e) {
+				t.Fatalf("ladder mismatch at z=%d e=%d", z, e)
+			}
+		}
+		if l.Pow(0) != 1 {
+			t.Fatal("z^0 != 1")
+		}
+	}
+}
+
+func BenchmarkLadderPow(b *testing.B) {
+	l := NewLadder(Reduce(0x123456789abcdef))
+	var acc Elem
+	for i := 0; i < b.N; i++ {
+		acc ^= l.Pow(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = acc
+}

@@ -1,0 +1,377 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHyperedgeCanonical(t *testing.T) {
+	e, err := NewHyperedge(5, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Equal(Hyperedge{2, 5, 9}) {
+		t.Fatalf("not sorted: %v", e)
+	}
+	if e.Min() != 2 {
+		t.Fatalf("Min = %d", e.Min())
+	}
+}
+
+func TestNewHyperedgeRejects(t *testing.T) {
+	if _, err := NewHyperedge(1); err == nil {
+		t.Error("singleton accepted")
+	}
+	if _, err := NewHyperedge(); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewHyperedge(1, 1); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := NewHyperedge(-1, 2); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestHyperedgeContains(t *testing.T) {
+	e := MustEdge(1, 4, 7)
+	for _, v := range []int{1, 4, 7} {
+		if !e.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int{0, 2, 5, 8} {
+		if e.Contains(v) {
+			t.Errorf("Contains(%d) = true", v)
+		}
+	}
+}
+
+func TestHyperedgeCrosses(t *testing.T) {
+	e := MustEdge(1, 4, 7)
+	inS := func(s ...int) func(int) bool {
+		set := map[int]bool{}
+		for _, v := range s {
+			set[v] = true
+		}
+		return func(v int) bool { return set[v] }
+	}
+	if !e.Crosses(inS(1)) {
+		t.Error("should cross {1}")
+	}
+	if e.Crosses(inS(1, 4, 7)) {
+		t.Error("fully inside should not cross")
+	}
+	if e.Crosses(inS(2, 3)) {
+		t.Error("fully outside should not cross")
+	}
+}
+
+func TestHyperedgeRestrict(t *testing.T) {
+	e := MustEdge(1, 4, 7)
+	r := e.Restrict(func(v int) bool { return v == 4 })
+	if !r.Equal(Hyperedge{1, 7}) {
+		t.Fatalf("Restrict = %v", r)
+	}
+}
+
+func TestHyperedgeString(t *testing.T) {
+	if s := MustEdge(3, 1).String(); s != "{1,3}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDomainValidation(t *testing.T) {
+	if _, err := NewDomain(1, 2); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewDomain(10, 1); err == nil {
+		t.Error("r=1 accepted")
+	}
+	// 2^20 vertices need 21 bits; r=4 would need 84 > 63.
+	if _, err := NewDomain(1<<20, 4); err == nil {
+		t.Error("oversized domain accepted")
+	}
+	if _, err := NewDomain(1<<20, 3); err != nil {
+		t.Errorf("3*21=63 bits should fit: %v", err)
+	}
+}
+
+func TestDomainRoundTripExhaustiveSmall(t *testing.T) {
+	d := MustDomain(6, 3)
+	// Every canonical hyperedge of size 2 and 3 on 6 vertices round-trips.
+	count := 0
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			edges := []Hyperedge{{a, b}}
+			for c := b + 1; c < 6; c++ {
+				edges = append(edges, Hyperedge{a, b, c})
+			}
+			for _, e := range edges {
+				key, err := d.Encode(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				back, err := d.Decode(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !back.Equal(e) {
+					t.Fatalf("round trip %v -> %d -> %v", e, key, back)
+				}
+				count++
+			}
+		}
+	}
+	if count != 15+20 {
+		t.Fatalf("enumerated %d edges, want 35", count)
+	}
+}
+
+func TestDomainKeysDistinct(t *testing.T) {
+	d := MustDomain(50, 3)
+	seen := map[uint64]Hyperedge{}
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 5000; i++ {
+		k := 2 + rng.IntN(2)
+		vs := map[int]bool{}
+		for len(vs) < k {
+			vs[rng.IntN(50)] = true
+		}
+		var e Hyperedge
+		for v := range vs {
+			e = append(e, v)
+		}
+		sort.Ints(e)
+		key := d.MustEncode(e)
+		if prev, dup := seen[key]; dup && !prev.Equal(e) {
+			t.Fatalf("key collision: %v and %v -> %d", prev, e, key)
+		}
+		seen[key] = e
+	}
+}
+
+func TestDomainDecodeRejectsGarbage(t *testing.T) {
+	d := MustDomain(10, 3)
+	bad := 0
+	for key := uint64(0); key < d.Size(); key += 7 {
+		if _, err := d.Decode(key); err != nil {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("no garbage keys rejected — decode is not validating")
+	}
+	// Key 0 (all empty slots) must be rejected.
+	if _, err := d.Decode(0); err == nil {
+		t.Fatal("key 0 decoded")
+	}
+	if _, err := d.Decode(d.Size()); err == nil {
+		t.Fatal("out-of-range key decoded")
+	}
+}
+
+func TestDomainEncodeRejects(t *testing.T) {
+	d := MustDomain(10, 2)
+	if _, err := d.Encode(Hyperedge{1, 2, 3}); err == nil {
+		t.Error("oversized edge accepted")
+	}
+	if _, err := d.Encode(Hyperedge{1, 10}); err == nil {
+		t.Error("vertex out of range accepted")
+	}
+	if _, err := d.Encode(Hyperedge{2, 1}); err == nil {
+		t.Error("unsorted edge accepted")
+	}
+}
+
+func TestDomainRoundTripProperty(t *testing.T) {
+	d := MustDomain(1000, 4)
+	f := func(a, b, c, x uint16, size uint8) bool {
+		k := int(size)%3 + 2
+		vs := map[int]bool{int(a) % 1000: true}
+		for _, w := range []uint16{b, c, x} {
+			if len(vs) >= k {
+				break
+			}
+			vs[int(w)%1000] = true
+		}
+		if len(vs) < 2 {
+			return true
+		}
+		var e Hyperedge
+		for v := range vs {
+			e = append(e, v)
+		}
+		sort.Ints(e)
+		key, err := d.Encode(e)
+		if err != nil {
+			return false
+		}
+		back, err := d.Decode(key)
+		return err == nil && back.Equal(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergraphAddRemove(t *testing.T) {
+	h := NewGraph(5)
+	h.AddSimple(0, 1)
+	h.AddSimple(1, 2)
+	if h.EdgeCount() != 2 || h.TotalWeight() != 2 {
+		t.Fatalf("count=%d weight=%d", h.EdgeCount(), h.TotalWeight())
+	}
+	if !h.Has(MustEdge(1, 0)) {
+		t.Fatal("edge {0,1} missing")
+	}
+	if err := h.AddEdge(MustEdge(0, 1), -1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Has(MustEdge(0, 1)) {
+		t.Fatal("deleted edge still present")
+	}
+	if err := h.AddEdge(MustEdge(0, 1), -1); err == nil {
+		t.Fatal("deleting absent edge should error")
+	}
+}
+
+func TestHypergraphWeights(t *testing.T) {
+	h := MustHypergraph(6, 3)
+	e := MustEdge(0, 2, 4)
+	h.MustAddEdge(e, 3)
+	h.MustAddEdge(e, 5)
+	if h.Weight(e) != 8 {
+		t.Fatalf("Weight = %d", h.Weight(e))
+	}
+	if h.EdgeCount() != 1 {
+		t.Fatal("merged edge counted twice")
+	}
+}
+
+func TestHypergraphCutWeight(t *testing.T) {
+	h := MustHypergraph(6, 3)
+	h.AddSimple(0, 1)
+	h.AddSimple(1, 2, 3)
+	h.AddSimple(4, 5)
+	s := map[int]bool{0: true, 1: true}
+	// {0,1} inside; {1,2,3} crosses; {4,5} outside.
+	if got := h.CutWeightSet(s); got != 1 {
+		t.Fatalf("CutWeight = %d, want 1", got)
+	}
+	cross := h.Crossing(func(v int) bool { return s[v] })
+	if len(cross) != 1 || !cross[0].Equal(Hyperedge{1, 2, 3}) {
+		t.Fatalf("Crossing = %v", cross)
+	}
+}
+
+func TestHypergraphDegree(t *testing.T) {
+	h := MustHypergraph(5, 3)
+	h.AddSimple(0, 1)
+	h.MustAddEdge(MustEdge(0, 2, 3), 4)
+	if h.Degree(0) != 5 {
+		t.Fatalf("Degree(0) = %d", h.Degree(0))
+	}
+	if h.Degree(4) != 0 {
+		t.Fatalf("Degree(4) = %d", h.Degree(4))
+	}
+}
+
+func TestRemoveVerticesModes(t *testing.T) {
+	h := MustHypergraph(6, 3)
+	h.AddSimple(0, 1, 2)
+	h.AddSimple(3, 4)
+	del := func(v int) bool { return v == 2 }
+
+	drop := h.RemoveVertices(del, DropIncident)
+	if drop.Has(MustEdge(0, 1, 2)) || drop.EdgeCount() != 1 {
+		t.Fatalf("DropIncident wrong: %v", drop.Edges())
+	}
+
+	restrict := h.RemoveVertices(del, RestrictEdges)
+	if !restrict.Has(MustEdge(0, 1)) || restrict.EdgeCount() != 2 {
+		t.Fatalf("RestrictEdges wrong: %v", restrict.Edges())
+	}
+
+	// Restriction below two endpoints drops the edge in both modes.
+	del2 := func(v int) bool { return v == 3 }
+	r2 := h.RemoveVertices(del2, RestrictEdges)
+	if r2.EdgeCount() != 1 {
+		t.Fatalf("edge {3,4} should vanish, got %v", r2.Edges())
+	}
+}
+
+func TestRemoveVerticesMergesRestrictions(t *testing.T) {
+	// Two distinct hyperedges restricting to the same pair must merge
+	// weights, not collide.
+	h := MustHypergraph(6, 3)
+	h.AddSimple(0, 1, 2)
+	h.AddSimple(0, 1, 3)
+	r := h.RemoveVertices(func(v int) bool { return v >= 2 }, RestrictEdges)
+	if r.Weight(MustEdge(0, 1)) != 2 {
+		t.Fatalf("merged weight = %d, want 2", r.Weight(MustEdge(0, 1)))
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	h := MustHypergraph(6, 3)
+	h.AddSimple(0, 1, 2)
+	h.AddSimple(0, 3)
+	keep := map[int]bool{0: true, 1: true, 2: true}
+	ind := h.InducedSubgraph(func(v int) bool { return keep[v] })
+	if ind.EdgeCount() != 1 || !ind.Has(MustEdge(0, 1, 2)) {
+		t.Fatalf("induced = %v", ind.Edges())
+	}
+}
+
+func TestCloneEqualSubtractUnion(t *testing.T) {
+	h := NewGraph(5)
+	h.AddSimple(0, 1)
+	h.AddSimple(2, 3)
+	cp := h.Clone()
+	if !h.Equal(cp) {
+		t.Fatal("clone not equal")
+	}
+	cp.AddSimple(3, 4)
+	if h.Equal(cp) {
+		t.Fatal("mutating clone affected original equality")
+	}
+
+	part := NewGraph(5)
+	part.AddSimple(0, 1)
+	if err := cp.Subtract(part); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Has(MustEdge(0, 1)) {
+		t.Fatal("subtract failed")
+	}
+	if err := cp.Union(part, 3); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Weight(MustEdge(0, 1)) != 3 {
+		t.Fatal("union with scale failed")
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	h := NewGraph(10)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 20; i++ {
+		u, v := rng.IntN(10), rng.IntN(10)
+		if u != v {
+			h.MustAddEdge(MustEdge(u, v), 1)
+		}
+	}
+	a := h.Edges()
+	b := h.Edges()
+	if len(a) != len(b) {
+		t.Fatal("length differs")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("edge order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package graph defines the graph and hypergraph types shared by the whole
+// repository, together with the canonical 64-bit encoding of hyperedges that
+// the linear sketches index their vectors by.
+//
+// Following the paper, a hypergraph has a fixed vertex set {0, …, n−1} and a
+// set of hyperedges, each a subset of vertices of cardinality between 2 and a
+// constant r. The special case r = 2 is an ordinary undirected graph. Edges
+// may carry positive integer weights (the sparsifier produces weights 2^i);
+// unweighted graphs use weight 1 throughout.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hyperedge is a set of at least two distinct vertices, stored sorted
+// ascending. Construct with NewHyperedge to establish the invariant.
+type Hyperedge []int
+
+// NewHyperedge builds a canonical hyperedge from the given vertices. It
+// returns an error if fewer than two distinct vertices are given or any
+// vertex is negative.
+func NewHyperedge(vs ...int) (Hyperedge, error) {
+	e := append(Hyperedge(nil), vs...)
+	sort.Ints(e)
+	for i, v := range e {
+		if v < 0 {
+			return nil, fmt.Errorf("graph: negative vertex %d", v)
+		}
+		if i > 0 && e[i-1] == v {
+			return nil, fmt.Errorf("graph: duplicate vertex %d in hyperedge", v)
+		}
+	}
+	if len(e) < 2 {
+		return nil, errors.New("graph: hyperedge needs at least two vertices")
+	}
+	return e, nil
+}
+
+// MustEdge builds a canonical hyperedge and panics on invalid input. For
+// tests and literals.
+func MustEdge(vs ...int) Hyperedge {
+	e, err := NewHyperedge(vs...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Min returns the smallest vertex ID in the hyperedge (the distinguished
+// vertex in the paper's incidence-vector encoding).
+func (e Hyperedge) Min() int { return e[0] }
+
+// Contains reports whether v is an endpoint.
+func (e Hyperedge) Contains(v int) bool {
+	for _, u := range e {
+		if u == v {
+			return true
+		}
+		if u > v {
+			return false
+		}
+	}
+	return false
+}
+
+// Equal reports element-wise equality.
+func (e Hyperedge) Equal(f Hyperedge) bool {
+	if len(e) != len(f) {
+		return false
+	}
+	for i := range e {
+		if e[i] != f[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Restrict returns e with every vertex of drop removed, preserving order.
+// The result may have fewer than two vertices, in which case it is no longer
+// a valid hyperedge (callers decide whether to keep it).
+func (e Hyperedge) Restrict(drop func(v int) bool) Hyperedge {
+	out := make(Hyperedge, 0, len(e))
+	for _, v := range e {
+		if !drop(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Crosses reports whether the hyperedge crosses the cut (S, V\S): it has at
+// least one endpoint inside S and at least one outside.
+func (e Hyperedge) Crosses(inS func(v int) bool) bool {
+	in, out := false, false
+	for _, v := range e {
+		if inS(v) {
+			in = true
+		} else {
+			out = true
+		}
+		if in && out {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the hyperedge as "{v1,v2,...}".
+func (e Hyperedge) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range e {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Clone returns a copy of e.
+func (e Hyperedge) Clone() Hyperedge {
+	return append(Hyperedge(nil), e...)
+}

@@ -1,0 +1,136 @@
+package graph
+
+// Property-based tests of the hypergraph algebra the sketches' peeling
+// constructions rely on: Union/Subtract are inverses, Clone isolates,
+// CutWeight is additive over unions, and induced/removal operators compose.
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randomHG(rng *rand.Rand, n, r, m int) *Hypergraph {
+	h := MustHypergraph(n, r)
+	for i := 0; i < m; i++ {
+		k := 2 + rng.IntN(r-1)
+		vs := map[int]bool{}
+		for len(vs) < k {
+			vs[rng.IntN(n)] = true
+		}
+		var e []int
+		for v := range vs {
+			e = append(e, v)
+		}
+		h.MustAddEdge(MustEdge(e...), int64(1+rng.IntN(3)))
+	}
+	return h
+}
+
+func TestUnionSubtractInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		a := randomHG(rng, 10, 3, 12)
+		b := randomHG(rng, 10, 3, 12)
+		orig := a.Clone()
+		if err := a.Union(b, 1); err != nil {
+			return false
+		}
+		if err := a.Subtract(b); err != nil {
+			return false
+		}
+		return a.Equal(orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutWeightAdditiveOverUnion(t *testing.T) {
+	f := func(seed uint64, mask uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		a := randomHG(rng, 10, 3, 10)
+		b := randomHG(rng, 10, 3, 10)
+		inS := func(v int) bool { return mask&(1<<uint(v%16)) != 0 }
+		wa, wb := a.CutWeight(inS), b.CutWeight(inS)
+		if err := a.Union(b, 1); err != nil {
+			return false
+		}
+		return a.CutWeight(inS) == wa+wb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		a := randomHG(rng, 8, 3, 8)
+		c := a.Clone()
+		if !a.Equal(c) {
+			return false
+		}
+		c.MustAddEdge(MustEdge(0, 1), 5)
+		// The original must be unaffected.
+		return a.Weight(MustEdge(0, 1)) != c.Weight(MustEdge(0, 1)) || a.Equal(c) == false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionScaleLinearity(t *testing.T) {
+	// Union(h, s) applied twice equals Union with 2s.
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := int64(scaleRaw%5) + 1
+		rng := rand.New(rand.NewPCG(seed, 4))
+		b := randomHG(rng, 8, 3, 8)
+		a1 := MustHypergraph(8, 3)
+		a2 := MustHypergraph(8, 3)
+		if err := a1.Union(b, scale); err != nil {
+			return false
+		}
+		if err := a1.Union(b, scale); err != nil {
+			return false
+		}
+		if err := a2.Union(b, 2*scale); err != nil {
+			return false
+		}
+		return a1.Equal(a2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveVerticesThenInducedConsistency(t *testing.T) {
+	// DropIncident removal equals the induced subgraph on the survivors.
+	f := func(seed uint64, mask uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		h := randomHG(rng, 10, 3, 12)
+		del := func(v int) bool { return mask&(1<<uint(v%16)) != 0 }
+		keep := func(v int) bool { return !del(v) }
+		a := h.RemoveVertices(del, DropIncident)
+		b := h.InducedSubgraph(keep)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalWeightConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 6))
+		h := randomHG(rng, 8, 3, 10)
+		var sum int64
+		for _, we := range h.WeightedEdges() {
+			sum += we.W
+		}
+		return sum == h.TotalWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

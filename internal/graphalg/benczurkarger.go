@@ -1,0 +1,58 @@
+package graphalg
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"graphsketch/internal/graph"
+)
+
+// BenczurKargerSparsifier computes the classical *offline* cut sparsifier
+// of Benczúr and Karger — the result the paper's Section 5 algorithm is
+// "closer in spirit to": sample each edge e independently with probability
+//
+//	p_e = min(1, c / (ε² · strength_e))
+//
+// and weight sampled edges by 1/p_e (rounded here to an integer weight;
+// strengths come from the exact decomposition in EdgeStrengths). It
+// requires the whole graph in memory and so serves as the non-streaming
+// baseline in experiment E7: the paper's contribution is matching this
+// quality in one dynamic-stream pass.
+//
+// The compression constant c trades size for accuracy; c ≈ ln n matches
+// the classical analysis.
+func BenczurKargerSparsifier(h *graph.Hypergraph, eps, c float64, rng *rand.Rand) *graph.Hypergraph {
+	if c <= 0 {
+		c = math.Log(float64(h.N()) + 1)
+	}
+	strengths := EdgeStrengths(h)
+	out := graph.MustHypergraph(h.N(), h.R())
+	for _, we := range h.WeightedEdges() {
+		ke := strengths[we.E.String()]
+		if ke < 1 {
+			ke = 1
+		}
+		p := c / (eps * eps * float64(ke))
+		if p >= 1 {
+			out.MustAddEdge(we.E, we.W)
+			continue
+		}
+		// Sample each unit of weight independently; surviving units get
+		// the integer weight nearest to 1/p (randomized rounding keeps
+		// the expectation exact).
+		inv := 1 / p
+		for unit := int64(0); unit < we.W; unit++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			w := int64(inv)
+			if rng.Float64() < inv-float64(w) {
+				w++
+			}
+			if w > 0 {
+				out.MustAddEdge(we.E, w)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package graphalg
+
+// Brute-force oracles used to validate the real algorithms on small inputs.
+// Everything here is exponential and only runs in tests.
+
+import (
+	"math/rand/v2"
+
+	"graphsketch/internal/graph"
+)
+
+// bruteGlobalMinCut enumerates all bipartitions of verts and returns the
+// minimum induced cut weight.
+func bruteGlobalMinCut(h *graph.Hypergraph, verts []int) int64 {
+	keep := make(map[int]bool, len(verts))
+	for _, v := range verts {
+		keep[v] = true
+	}
+	ind := h.InducedSubgraph(func(v int) bool { return keep[v] })
+	best := int64(-1)
+	n := len(verts)
+	for mask := 1; mask < 1<<uint(n-1); mask++ { // vertex verts[n-1] always outside S
+		inS := make(map[int]bool)
+		for i := 0; i < n-1; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				inS[verts[i]] = true
+			}
+		}
+		w := ind.CutWeightSet(inS)
+		if best == -1 || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// bruteSTEdgeCut enumerates all cuts separating s from t.
+func bruteSTEdgeCut(h *graph.Hypergraph, s, t int) int64 {
+	n := h.N()
+	best := int64(-1)
+	var others []int
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			others = append(others, v)
+		}
+	}
+	for mask := 0; mask < 1<<uint(len(others)); mask++ {
+		inS := map[int]bool{s: true}
+		for i, v := range others {
+			if mask&(1<<uint(i)) != 0 {
+				inS[v] = true
+			}
+		}
+		w := h.CutWeightSet(inS)
+		if best == -1 || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// bruteSTVertexCut enumerates vertex removal sets.
+func bruteSTVertexCut(h *graph.Hypergraph, s, t int, limit int64) int64 {
+	n := h.N()
+	var others []int
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			others = append(others, v)
+		}
+	}
+	best := limit
+	for mask := 0; mask < 1<<uint(len(others)); mask++ {
+		del := map[int]bool{}
+		size := int64(0)
+		for i, v := range others {
+			if mask&(1<<uint(i)) != 0 {
+				del[v] = true
+				size++
+			}
+		}
+		if size >= best {
+			continue
+		}
+		reduced := h.RemoveVertices(func(v int) bool { return del[v] }, graph.RestrictEdges)
+		if !SameComponent(reduced, s, t) {
+			best = size
+		}
+	}
+	return best
+}
+
+// bruteVertexConnectivity is min over all removal sets that disconnect the
+// surviving vertices, capped at n-1.
+func bruteVertexConnectivity(h *graph.Hypergraph) int64 {
+	n := h.N()
+	best := int64(n - 1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		del := map[int]bool{}
+		size := int64(0)
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				del[v] = true
+				size++
+			}
+		}
+		if size >= best || int(size) > n-2 {
+			continue
+		}
+		if DisconnectsQuery(h, del) {
+			best = size
+		}
+	}
+	return best
+}
+
+// bruteLambdaE: min cut weight over all cuts that e crosses.
+func bruteLambdaE(h *graph.Hypergraph, e graph.Hyperedge) int64 {
+	n := h.N()
+	best := int64(-1)
+	for mask := 1; mask < 1<<uint(n)-1; mask++ {
+		inS := func(v int) bool { return mask&(1<<uint(v)) != 0 }
+		if !e.Crosses(inS) {
+			continue
+		}
+		w := h.CutWeight(inS)
+		if best == -1 || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// bruteCutDegeneracy: smallest d such that every induced subhypergraph with
+// >= 2 vertices has a cut of weight <= d.
+func bruteCutDegeneracy(h *graph.Hypergraph) int64 {
+	n := h.N()
+	var d int64
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var verts []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				verts = append(verts, v)
+			}
+		}
+		if len(verts) < 2 {
+			continue
+		}
+		w := bruteGlobalMinCut(h, verts)
+		if w > d {
+			d = w
+		}
+	}
+	return d
+}
+
+// randomHypergraph returns a random hypergraph for cross-checking.
+func randomHypergraph(rng *rand.Rand, n, r, m int) *graph.Hypergraph {
+	h := graph.MustHypergraph(n, r)
+	for i := 0; i < m; i++ {
+		k := 2
+		if r > 2 {
+			k += rng.IntN(r - 1)
+		}
+		vs := map[int]bool{}
+		for len(vs) < k {
+			vs[rng.IntN(n)] = true
+		}
+		var e []int
+		for v := range vs {
+			e = append(e, v)
+		}
+		h.MustAddEdge(graph.MustEdge(e...), 1)
+	}
+	return h
+}
+
+func allVerts(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}

@@ -1,0 +1,115 @@
+package graphalg
+
+import (
+	"math/rand/v2"
+
+	"graphsketch/internal/graph"
+)
+
+// SparseCertificate returns the offline k-skeleton: the union of k
+// edge-disjoint spanning forests F_1, …, F_k where F_i spans
+// G − F_1 − … − F_{i−1}. This is the Nagamochi–Ibaraki style sparse
+// k-edge-connectivity certificate that Theorem 14's sketch constructs from
+// linear measurements; having the offline version gives the experiments a
+// ground-truth certificate to compare decoded skeletons against.
+func SparseCertificate(h *graph.Hypergraph, k int) *graph.Hypergraph {
+	rest := h.Clone()
+	out := graph.MustHypergraph(h.N(), h.R())
+	for i := 0; i < k; i++ {
+		f := SpanningForest(rest)
+		if f.EdgeCount() == 0 {
+			break
+		}
+		for _, e := range f.Edges() {
+			out.MustAddEdge(e, 1)
+			rest.MustAddEdge(e, -1) // peel one unit of multiplicity
+		}
+	}
+	return out
+}
+
+// KargerMinCut estimates the global minimum cut of h by random hyperedge
+// contraction, repeated over trials. Each trial contracts weight-biased
+// random hyperedges until two supernodes remain and reports the crossing
+// weight; the minimum over trials is returned with its witness side. A
+// randomized, independently-coded cross-check for the MA-ordering
+// algorithm (GlobalMinCut); with O(n² log n) trials it finds the true
+// minimum with high probability on graphs, and it remains a valid upper
+// bound for hypergraphs.
+func KargerMinCut(h *graph.Hypergraph, trials int, rng *rand.Rand) (int64, []int) {
+	n := h.N()
+	edges := h.WeightedEdges()
+	best := int64(-1)
+	var bestSide []int
+
+	// Only vertices touched by edges participate; isolated vertices give
+	// cut 0 immediately (matching GlobalMinCutAll semantics).
+	touched := make([]bool, n)
+	active := 0
+	for _, we := range edges {
+		for _, v := range we.E {
+			if !touched[v] {
+				touched[v] = true
+				active++
+			}
+		}
+	}
+	if active < n || active < 2 {
+		// An untouched vertex is an isolated side: cut 0.
+		for v := 0; v < n; v++ {
+			if !touched[v] {
+				return 0, []int{v}
+			}
+		}
+		return 0, nil
+	}
+
+	var totalW int64
+	for _, we := range edges {
+		totalW += we.W
+	}
+	for trial := 0; trial < trials; trial++ {
+		d := NewDSU(n)
+		comps := active
+		guard := 0
+		for comps > 2 && guard < 100*len(edges)+100 {
+			guard++
+			// Weight-biased random edge.
+			target := rng.Int64N(totalW)
+			var pick graph.Hyperedge
+			var acc int64
+			for _, we := range edges {
+				acc += we.W
+				if target < acc {
+					pick = we.E
+					break
+				}
+			}
+			for i := 1; i < len(pick); i++ {
+				if d.Union(pick[0], pick[i]) {
+					comps--
+				}
+			}
+		}
+		if comps != 2 {
+			continue
+		}
+		// Crossing weight of the 2-way partition.
+		root := d.Find(0)
+		inS := func(v int) bool { return d.Find(v) == root }
+		w := h.CutWeight(inS)
+		if best == -1 || w < best {
+			best = w
+			bestSide = bestSide[:0]
+			for v := 0; v < n; v++ {
+				if inS(v) {
+					bestSide = append(bestSide, v)
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return 0, nil
+	}
+	return best, bestSide
+}

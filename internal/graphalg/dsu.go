@@ -1,0 +1,69 @@
+// Package graphalg implements the offline (hyper)graph algorithms the paper
+// depends on: connectivity and spanning forests, maximum flow, s–t and
+// global minimum cuts for graphs and hypergraphs, local edge connectivity,
+// vertex connectivity, edge strength and the light-edge decomposition, and
+// degeneracy measures. These serve three roles: post-processing for the
+// sketches (e.g. computing the vertex connectivity of the decoded subgraph
+// H), ground truth in tests, and baselines in the experiments.
+package graphalg
+
+// DSU is a union–find structure over {0, …, n−1} with path compression and
+// union by size.
+type DSU struct {
+	parent []int
+	size   []int
+	comps  int
+}
+
+// NewDSU returns a DSU with every element in its own set.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int, n), size: make([]int, n), comps: n}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning true if they were distinct.
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.comps--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// Components returns the number of disjoint sets.
+func (d *DSU) Components() int { return d.comps }
+
+// SizeOf returns the size of x's set.
+func (d *DSU) SizeOf(x int) int { return d.size[d.Find(x)] }
+
+// Groups returns the sets as slices of members, keyed by representative.
+func (d *DSU) Groups() map[int][]int {
+	g := make(map[int][]int)
+	for i := range d.parent {
+		r := d.Find(i)
+		g[r] = append(g[r], i)
+	}
+	return g
+}

@@ -1,0 +1,115 @@
+package graphalg
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch/internal/graph"
+)
+
+func TestGomoryHuAllPairsGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 1))
+	for trial := 0; trial < 20; trial++ {
+		h := randomHypergraph(rng, 8, 2, 14)
+		tree, err := NewGomoryHuTree(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 8; u++ {
+			for v := u + 1; v < 8; v++ {
+				want := STEdgeCut(h, u, v, Unbounded)
+				got := tree.MinCut(u, v)
+				if got != want {
+					t.Fatalf("trial %d: tree cut(%d,%d) = %d, want %d", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGomoryHuAllPairsHypergraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 1))
+	for trial := 0; trial < 20; trial++ {
+		h := randomHypergraph(rng, 8, 3, 12)
+		tree, err := NewGomoryHuTree(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 8; u++ {
+			for v := u + 1; v < 8; v++ {
+				want := STEdgeCut(h, u, v, Unbounded)
+				got := tree.MinCut(u, v)
+				if got != want {
+					t.Fatalf("trial %d: hypergraph tree cut(%d,%d) = %d, want %d",
+						trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGomoryHuWeighted(t *testing.T) {
+	h := graph.NewGraph(4)
+	h.MustAddEdge(graph.MustEdge(0, 1), 10)
+	h.MustAddEdge(graph.MustEdge(1, 2), 3)
+	h.MustAddEdge(graph.MustEdge(2, 3), 10)
+	tree, err := NewGomoryHuTree(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.MinCut(0, 3); got != 3 {
+		t.Fatalf("cut(0,3) = %d, want 3", got)
+	}
+	if got := tree.MinCut(0, 1); got != 10 {
+		t.Fatalf("cut(0,1) = %d, want 10", got)
+	}
+}
+
+func TestGomoryHuGlobalMinCut(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 1))
+	for trial := 0; trial < 15; trial++ {
+		h := randomHypergraph(rng, 8, 3, 12)
+		tree, err := NewGomoryHuTree(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := GlobalMinCutAll(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.GlobalMinCutValue(); got != want {
+			t.Fatalf("trial %d: global min cut %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestGomoryHuDisconnected(t *testing.T) {
+	h := graph.NewGraph(4)
+	h.AddSimple(0, 1)
+	h.AddSimple(2, 3)
+	tree, err := NewGomoryHuTree(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.MinCut(0, 2); got != 0 {
+		t.Fatalf("cross-component cut = %d, want 0", got)
+	}
+	if got := tree.MinCut(0, 1); got != 1 {
+		t.Fatalf("within-component cut = %d, want 1", got)
+	}
+	if got := tree.GlobalMinCutValue(); got != 0 {
+		t.Fatalf("global min cut = %d, want 0", got)
+	}
+}
+
+func TestGomoryHuSameVertex(t *testing.T) {
+	h := graph.NewGraph(3)
+	h.AddSimple(0, 1)
+	tree, err := NewGomoryHuTree(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.MinCut(1, 1) != Unbounded {
+		t.Fatal("self cut should be unbounded")
+	}
+}

@@ -1,0 +1,208 @@
+package graphalg
+
+import (
+	"errors"
+	"sort"
+
+	"graphsketch/internal/graph"
+)
+
+// ErrTooFewVertices is returned when a global min cut is requested on fewer
+// than two vertices.
+var ErrTooFewVertices = errors.New("graphalg: global min cut needs at least two vertices")
+
+// GlobalMinCut computes the minimum cut of the subhypergraph of h induced on
+// verts (only hyperedges entirely inside verts are counted; the cut is over
+// bipartitions of verts). It returns the cut weight and one side of an
+// optimal cut.
+//
+// The algorithm is the maximum-adjacency-ordering method in Queyranne's
+// formulation for symmetric submodular functions, which specializes to
+// Stoer–Wagner on graphs and to the Klimmek–Wagner algorithm on
+// hypergraphs: each phase orders supernodes by the key
+//
+//	key(v) = Σ_{e touched by A, v ∈ e} w(e) + Σ_{e touched, e\A = {v}} w(e)
+//
+// (equivalent, up to an additive constant, to f({v}) − f(A ∪ {v}) for the
+// hypergraph cut function f). The last supernode's incident weight is a
+// candidate cut and the last two supernodes are contracted; the minimum over
+// phases is the global minimum cut.
+func GlobalMinCut(h *graph.Hypergraph, verts []int) (int64, []int, error) {
+	if len(verts) < 2 {
+		return 0, nil, ErrTooFewVertices
+	}
+	inVerts := make(map[int]bool, len(verts))
+	for _, v := range verts {
+		inVerts[v] = true
+	}
+
+	// Supernode state: super[i] holds the original vertices merged into
+	// supernode i.
+	super := make([][]int, 0, len(verts))
+	superOf := make(map[int]int, len(verts))
+	for _, v := range verts {
+		superOf[v] = len(super)
+		super = append(super, []int{v})
+	}
+	type hedge struct {
+		nodes []int // sorted distinct supernode indices, len >= 2
+		w     int64
+	}
+	var edges []hedge
+	for _, we := range h.WeightedEdges() {
+		inside := true
+		for _, v := range we.E {
+			if !inVerts[v] {
+				inside = false
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		nodes := make([]int, len(we.E))
+		for i, v := range we.E {
+			nodes[i] = superOf[v]
+		}
+		sort.Ints(nodes)
+		edges = append(edges, hedge{nodes: nodes, w: we.W})
+	}
+
+	alive := make([]bool, len(super))
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := len(super)
+
+	bestWeight := int64(-1)
+	var bestSide []int
+
+	for aliveCount > 1 {
+		// Incidence lists over the current contracted hypergraph.
+		inc := make([][]int, len(super))
+		for ei, e := range edges {
+			for _, nd := range e.nodes {
+				inc[nd] = append(inc[nd], ei)
+			}
+		}
+
+		// Maximum adjacency ordering over alive supernodes.
+		inA := make([]bool, len(super))
+		touched := make([]bool, len(edges))
+		outCount := make([]int, len(edges))
+		for ei := range edges {
+			outCount[ei] = len(edges[ei].nodes)
+		}
+		score := make([]int64, len(super))
+		var order []int
+		for len(order) < aliveCount {
+			pick := -1
+			for i := range super {
+				if !alive[i] || inA[i] {
+					continue
+				}
+				if pick == -1 || score[i] > score[pick] {
+					pick = i
+				}
+			}
+			order = append(order, pick)
+			inA[pick] = true
+			for _, ei := range inc[pick] {
+				e := &edges[ei]
+				if !touched[ei] {
+					touched[ei] = true
+					for _, nd := range e.nodes {
+						if !inA[nd] {
+							score[nd] += e.w
+						}
+					}
+				}
+				outCount[ei]--
+				if outCount[ei] == 1 {
+					// The edge has a unique endpoint outside A: the
+					// "completing" bonus of Queyranne's key.
+					for _, nd := range e.nodes {
+						if !inA[nd] {
+							score[nd] += e.w
+							break
+						}
+					}
+				}
+			}
+		}
+
+		t := order[len(order)-1]
+		s := order[len(order)-2]
+		// Cut of the phase: ({t's original vertices}, rest).
+		cutWeight := int64(0)
+		for _, ei := range inc[t] {
+			if len(edges[ei].nodes) >= 2 {
+				cutWeight += edges[ei].w
+			}
+		}
+		if bestWeight == -1 || cutWeight < bestWeight {
+			bestWeight = cutWeight
+			bestSide = append([]int(nil), super[t]...)
+		}
+
+		// Contract t into s.
+		super[s] = append(super[s], super[t]...)
+		alive[t] = false
+		aliveCount--
+		merged := make(map[string]int) // canonical node-list -> index in out
+		var out []hedge
+		for _, e := range edges {
+			nodes := make([]int, 0, len(e.nodes))
+			for _, nd := range e.nodes {
+				if nd == t {
+					nd = s
+				}
+				nodes = append(nodes, nd)
+			}
+			sort.Ints(nodes)
+			uniq := nodes[:0]
+			for i, nd := range nodes {
+				if i == 0 || nd != nodes[i-1] {
+					uniq = append(uniq, nd)
+				}
+			}
+			if len(uniq) < 2 {
+				continue // fully inside a supernode: can never cross again
+			}
+			key := nodeKey(uniq)
+			if idx, ok := merged[key]; ok {
+				out[idx].w += e.w
+			} else {
+				merged[key] = len(out)
+				out = append(out, hedge{nodes: append([]int(nil), uniq...), w: e.w})
+			}
+		}
+		edges = out
+	}
+
+	sort.Ints(bestSide)
+	return bestWeight, bestSide, nil
+}
+
+func nodeKey(nodes []int) string {
+	b := make([]byte, 0, len(nodes)*3)
+	for _, nd := range nodes {
+		for nd >= 128 {
+			b = append(b, byte(nd&127)|128)
+			nd >>= 7
+		}
+		b = append(b, byte(nd), 255)
+	}
+	return string(b)
+}
+
+// GlobalMinCutAll computes the global minimum cut of h over its entire
+// vertex set {0, …, n−1}. Isolated vertices make the minimum cut zero, as
+// the paper's cut definitions imply.
+func GlobalMinCutAll(h *graph.Hypergraph) (int64, []int, error) {
+	verts := make([]int, h.N())
+	for i := range verts {
+		verts[i] = i
+	}
+	return GlobalMinCut(h, verts)
+}

@@ -1,0 +1,50 @@
+package graphalg
+
+import (
+	"sort"
+
+	"graphsketch/internal/graph"
+)
+
+// ScanFirstTree computes a scan-first search tree (Cheriyan, Kao,
+// Thurimella) of the component of root in an ordinary graph: starting from
+// the root, repeatedly scan a marked-but-unscanned vertex, adding edges to
+// all currently unmarked neighbours (which become marked). Vertices are
+// scanned in FIFO order and neighbours visited in ascending order, making
+// the tree deterministic.
+//
+// The paper's Appendix A (Theorem 21) proves any dynamic stream algorithm
+// for SFSTs needs Ω(n²) space — the reason Section 3 avoids the
+// Cheriyan-et-al. approach to vertex connectivity. This offline
+// implementation exists to demonstrate that reduction (experiment E10): an
+// SFST of Bob's completed INDEX graph reveals Alice's bits.
+func ScanFirstTree(h *graph.Hypergraph, root int) *graph.Hypergraph {
+	n := h.N()
+	adj := make([][]int, n)
+	for _, e := range h.Edges() {
+		if len(e) != 2 {
+			continue // SFSTs are defined for graphs
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	tree := graph.NewGraph(n)
+	marked := make([]bool, n)
+	marked[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range adj[x] {
+			if !marked[y] {
+				marked[y] = true
+				tree.MustAddEdge(graph.MustEdge(x, y), 1)
+				queue = append(queue, y)
+			}
+		}
+	}
+	return tree
+}

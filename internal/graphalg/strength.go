@@ -1,0 +1,158 @@
+package graphalg
+
+import "graphsketch/internal/graph"
+
+// EdgeStrengths computes the Benczúr–Karger strength of every hyperedge of
+// h: the largest k such that some vertex set S containing the edge induces a
+// k-edge-connected subhypergraph. Strengths are computed by recursive
+// minimum-cut decomposition — the edges crossing a global minimum cut of a
+// connected piece have strength exactly that cut's weight, are removed, and
+// the two sides recurse.
+//
+// By the paper's Lemma 16, light_k(G) = {e : strength(e) ≤ k}; the
+// experiments verify this equivalence against the direct recursive
+// definition (LightEdges).
+func EdgeStrengths(h *graph.Hypergraph) map[string]int64 {
+	out := make(map[string]int64, h.EdgeCount())
+	// Start from the connected components of h.
+	for _, comp := range ComponentsOf(h).Groups() {
+		if len(comp) < 2 {
+			continue
+		}
+		strengthRec(h, comp, 0, out)
+	}
+	return out
+}
+
+// strengthRec assigns strengths within the induced subhypergraph on verts.
+// floor is the maximum min-cut weight seen along the decomposition path: a
+// piece carved out of a λ-edge-connected ancestor may itself have a smaller
+// local min cut (a triangle splits into a single edge with local cut 1),
+// but its edges' strength stays at least λ because the ancestor witnesses
+// it. Crossing edges of a local minimum cut therefore receive strength
+// max(floor, λ_local), which is exact: any stronger witness set S would
+// have had to survive, unsplit, every cut on the path — each of weight
+// < strength(S) — and would then be split by the local min cut,
+// contradicting its connectivity.
+func strengthRec(h *graph.Hypergraph, verts []int, floor int64, out map[string]int64) {
+	if len(verts) < 2 {
+		return
+	}
+	keep := make(map[int]bool, len(verts))
+	for _, v := range verts {
+		keep[v] = true
+	}
+	ind := h.InducedSubgraph(func(v int) bool { return keep[v] })
+	if ind.EdgeCount() == 0 {
+		return
+	}
+	lambda, side, err := GlobalMinCut(ind, verts)
+	if err != nil {
+		return
+	}
+	strength := lambda
+	if floor > strength {
+		strength = floor
+	}
+	inSide := make(map[int]bool, len(side))
+	for _, v := range side {
+		inSide[v] = true
+	}
+	rest := make([]int, 0, len(verts)-len(side))
+	for _, v := range verts {
+		if !inSide[v] {
+			rest = append(rest, v)
+		}
+	}
+	for _, e := range ind.Crossing(func(v int) bool { return inSide[v] }) {
+		out[e.String()] = strength
+	}
+	// The sides may be internally disconnected; recurse per component of
+	// the induced subgraphs.
+	for _, part := range [][]int{side, rest} {
+		if len(part) < 2 {
+			continue
+		}
+		inPart := make(map[int]bool, len(part))
+		for _, v := range part {
+			inPart[v] = true
+		}
+		sub := h.InducedSubgraph(func(v int) bool { return inPart[v] })
+		groups := ComponentsOf(sub).Groups()
+		for _, g := range groups {
+			members := make([]int, 0, len(g))
+			for _, v := range g {
+				if inPart[v] {
+					members = append(members, v)
+				}
+			}
+			if len(members) >= 2 {
+				strengthRec(h, members, strength, out)
+			}
+		}
+	}
+}
+
+// LightEdgesByStrength returns the hyperedges of h with strength at most k.
+// By Lemma 16 this equals light_k(h).
+func LightEdgesByStrength(h *graph.Hypergraph, k int64) *graph.Hypergraph {
+	strengths := EdgeStrengths(h)
+	out := graph.MustHypergraph(h.N(), h.R())
+	for _, we := range h.WeightedEdges() {
+		if strengths[we.E.String()] <= k {
+			out.MustAddEdge(we.E, we.W)
+		}
+	}
+	return out
+}
+
+// Degeneracy returns the degeneracy of h: the smallest d such that every
+// induced subhypergraph (edges fully inside the vertex set) has a vertex of
+// degree at most d. Computed by the standard min-degree peeling.
+func Degeneracy(h *graph.Hypergraph) int64 {
+	cur := h.Clone()
+	removed := make([]bool, h.N())
+	var deg int64
+	active := h.N()
+	for active > 0 {
+		// Find the minimum-degree surviving vertex.
+		minV, minDeg := -1, int64(-1)
+		for v := 0; v < h.N(); v++ {
+			if removed[v] {
+				continue
+			}
+			d := cur.Degree(v)
+			if minDeg == -1 || d < minDeg {
+				minV, minDeg = v, d
+			}
+		}
+		if minDeg > deg {
+			deg = minDeg
+		}
+		removed[minV] = true
+		active--
+		cur = cur.RemoveVertices(func(v int) bool { return removed[v] }, graph.DropIncident)
+	}
+	return deg
+}
+
+// CutDegeneracy returns the smallest d such that every induced subhypergraph
+// of h has a cut of weight at most d (Definition 9). Equivalently, it is the
+// maximum edge strength: an induced subhypergraph with minimum cut > d is
+// exactly a (d+1)-strong set.
+func CutDegeneracy(h *graph.Hypergraph) int64 {
+	var d int64
+	for _, s := range EdgeStrengths(h) {
+		if s > d {
+			d = s
+		}
+	}
+	return d
+}
+
+// IsCutDegenerate reports whether h is d-cut-degenerate, i.e. whether
+// light_d(h) is all of h (Section 4.2.1: "if G is d-cut-degenerate then
+// light_d(G) = E").
+func IsCutDegenerate(h *graph.Hypergraph, d int64) bool {
+	return CutDegeneracy(h) <= d
+}

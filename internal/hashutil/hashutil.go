@@ -1,0 +1,139 @@
+// Package hashutil provides the seeded hash functions the sketches are built
+// on: a fast 64-bit mixer, k-wise independent polynomial hash families over
+// GF(2^61-1), and geometric "level" hashes used for the subsampling schedules
+// in L0 samplers and in the sparsifier's nested edge subsamples.
+//
+// Everything here is deterministic given a seed, which is what makes the
+// sketches in this repository *linear*: two sketches built from the same seed
+// use identical hash functions, so adding their cells coordinate-wise yields
+// exactly the sketch of the summed input.
+package hashutil
+
+import (
+	"math/bits"
+
+	"graphsketch/internal/field"
+)
+
+// Mix64 is the splitmix64 finalizer: a fast bijective mixer on 64-bit words.
+// It is the workhorse for deriving independent sub-seeds and for cheap
+// hashing where formal independence guarantees are not required.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SeedStream derives a sequence of statistically independent 64-bit sub-seeds
+// from a master seed. Index-addressable so that distributed parties sharing
+// the master seed derive identical sub-seeds without coordination (the
+// "public random bits" of the simultaneous communication model).
+type SeedStream struct {
+	master uint64
+}
+
+// NewSeedStream returns a stream of sub-seeds derived from master.
+func NewSeedStream(master uint64) SeedStream {
+	return SeedStream{master: Mix64(master ^ 0xa076_1d64_78bd_642f)}
+}
+
+// At returns the i-th sub-seed.
+func (s SeedStream) At(i uint64) uint64 {
+	return Mix64(s.master + 0x9e3779b97f4a7c15*(i+1))
+}
+
+// Sub returns a derived stream, namespaced by label. Use this to give each
+// component (level, row, copy) its own seed universe.
+func (s SeedStream) Sub(label uint64) SeedStream {
+	return SeedStream{master: Mix64(s.master ^ Mix64(label^0x1234_5678_9abc_def0))}
+}
+
+// PolyHash is a k-wise independent hash family h(x) = sum_i c_i x^i over
+// GF(2^61-1), where the degree (number of coefficients) determines the
+// independence. Keys are first reduced into the field.
+type PolyHash struct {
+	coeffs []field.Elem
+}
+
+// NewPolyHash draws a hash function with the given independence (>= 2) from
+// the family, seeded deterministically.
+func NewPolyHash(seed uint64, independence int) PolyHash {
+	if independence < 2 {
+		independence = 2
+	}
+	ss := NewSeedStream(seed)
+	coeffs := make([]field.Elem, independence)
+	for i := range coeffs {
+		// Rejection-free: Reduce introduces negligible bias (2^64 mod P
+		// over a 2^61 range) that is irrelevant at our failure scales.
+		coeffs[i] = field.Reduce(ss.At(uint64(i)))
+	}
+	// Ensure the leading coefficient is nonzero so the polynomial has full
+	// degree; this keeps collision bounds tight.
+	if coeffs[independence-1] == 0 {
+		coeffs[independence-1] = 1
+	}
+	return PolyHash{coeffs: coeffs}
+}
+
+// Hash evaluates the polynomial at key (Horner's rule).
+func (p PolyHash) Hash(key uint64) uint64 {
+	x := field.Reduce(key)
+	acc := field.Elem(0)
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		acc = field.Add(field.Mul(acc, x), p.coeffs[i])
+	}
+	return uint64(acc)
+}
+
+// Bucket maps key into [0, m). For pairwise-independent families the
+// collision probability of distinct keys is at most ~1/m.
+func (p PolyHash) Bucket(key uint64, m int) int {
+	if m <= 0 {
+		panic("hashutil: bucket count must be positive")
+	}
+	// Modulo range reduction: hash values live in [0, P) so the bias for
+	// m << P is at most m/P, far below any failure scale we care about.
+	return int(p.Hash(key) % uint64(m))
+}
+
+// LevelHash assigns each key a geometric level: level >= l with probability
+// 2^-l. It drives the subsampling schedules of the L0 sampler (coordinate i
+// participates in levels 0..Level(i)) and of the sparsifier's nested
+// subgraphs G_0 ⊇ G_1 ⊇ ... (edge e ∈ G_i iff Level(e) >= i).
+type LevelHash struct {
+	seed uint64
+	max  int
+}
+
+// NewLevelHash returns a level hash with levels clamped to [0, max].
+func NewLevelHash(seed uint64, max int) LevelHash {
+	return LevelHash{seed: Mix64(seed ^ 0x5bf0_3635_dead_beef), max: max}
+}
+
+// Level returns the geometric level of key in [0, max].
+func (l LevelHash) Level(key uint64) int {
+	h := Mix64(l.seed + Mix64(key))
+	lv := bits.LeadingZeros64(h)
+	if lv > l.max {
+		lv = l.max
+	}
+	return lv
+}
+
+// Max returns the largest level this hash can assign.
+func (l LevelHash) Max() int { return l.max }
+
+// Bernoulli returns a deterministic coin flip for key with probability
+// num/den of heads, derived from seed. Used for vertex subsampling in the
+// vertex-connectivity sketches (keep each vertex with probability 1/k).
+func Bernoulli(seed, key uint64, num, den uint64) bool {
+	if den == 0 {
+		panic("hashutil: zero denominator")
+	}
+	h := Mix64(Mix64(seed) ^ Mix64(key^0x0dd5_1b0a_c0ffee00))
+	// h / 2^64 < num/den  <=>  h*den < num*2^64; compare via 128-bit mul.
+	hi, _ := bits.Mul64(h, den)
+	return hi < num
+}

@@ -1,0 +1,203 @@
+package hashutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a window and that output differs from input.
+	seen := make(map[uint64]struct{}, 10000)
+	for i := uint64(0); i < 10000; i++ {
+		v := Mix64(i)
+		if _, dup := seen[v]; dup {
+			t.Fatalf("Mix64 collision at input %d", i)
+		}
+		seen[v] = struct{}{}
+	}
+}
+
+func TestSeedStreamDeterministic(t *testing.T) {
+	a := NewSeedStream(42)
+	b := NewSeedStream(42)
+	for i := uint64(0); i < 100; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("seed stream not deterministic at %d", i)
+		}
+	}
+	c := NewSeedStream(43)
+	same := 0
+	for i := uint64(0); i < 100; i++ {
+		if a.At(i) == c.At(i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different masters produced %d identical sub-seeds", same)
+	}
+}
+
+func TestSeedStreamSubNamespaces(t *testing.T) {
+	s := NewSeedStream(7)
+	if s.Sub(1).At(0) == s.Sub(2).At(0) {
+		t.Fatal("sub-streams with different labels collide")
+	}
+	if s.Sub(1).At(0) != s.Sub(1).At(0) {
+		t.Fatal("sub-stream not deterministic")
+	}
+}
+
+func TestPolyHashDeterministicAndSeedSensitive(t *testing.T) {
+	h1 := NewPolyHash(1, 2)
+	h2 := NewPolyHash(1, 2)
+	h3 := NewPolyHash(2, 2)
+	diff := false
+	for k := uint64(0); k < 64; k++ {
+		if h1.Hash(k) != h2.Hash(k) {
+			t.Fatal("PolyHash not deterministic")
+		}
+		if h1.Hash(k) != h3.Hash(k) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical hash functions")
+	}
+}
+
+func TestPolyHashBucketRange(t *testing.T) {
+	h := NewPolyHash(99, 2)
+	f := func(key uint64, mRaw uint8) bool {
+		m := int(mRaw)%64 + 1
+		b := h.Bucket(key, m)
+		return b >= 0 && b < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyHashBucketUniformity(t *testing.T) {
+	h := NewPolyHash(5, 2)
+	const m = 16
+	const n = 16000
+	counts := make([]int, m)
+	for k := uint64(0); k < n; k++ {
+		counts[h.Bucket(k, m)]++
+	}
+	want := float64(n) / m
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d far from expectation %.0f", b, c, want)
+		}
+	}
+}
+
+func TestPolyHashPairwiseCollisions(t *testing.T) {
+	// Empirical collision rate over many seeds should be ~1/m.
+	const m = 32
+	const pairs = 4000
+	coll := 0
+	for seed := uint64(0); seed < pairs; seed++ {
+		h := NewPolyHash(seed, 2)
+		if h.Bucket(12345, m) == h.Bucket(67890, m) {
+			coll++
+		}
+	}
+	rate := float64(coll) / pairs
+	if rate > 3.0/m {
+		t.Fatalf("collision rate %.4f much larger than 1/m = %.4f", rate, 1.0/m)
+	}
+}
+
+func TestLevelHashDistribution(t *testing.T) {
+	l := NewLevelHash(11, 40)
+	const n = 1 << 16
+	counts := make([]int, 41)
+	for k := uint64(0); k < n; k++ {
+		lv := l.Level(k)
+		if lv < 0 || lv > 40 {
+			t.Fatalf("level %d out of range", lv)
+		}
+		counts[lv]++
+	}
+	// P[level >= l] = 2^-l: check the first few levels within 5 sigma.
+	cum := n
+	for lv := 1; lv <= 6; lv++ {
+		cum -= counts[lv-1]
+		want := float64(n) / float64(uint64(1)<<lv)
+		sigma := math.Sqrt(want)
+		if math.Abs(float64(cum)-want) > 5*sigma {
+			t.Errorf("P[level>=%d]: got %d, want ~%.0f", lv, cum, want)
+		}
+	}
+}
+
+func TestLevelHashClamp(t *testing.T) {
+	l := NewLevelHash(3, 2)
+	for k := uint64(0); k < 1000; k++ {
+		if l.Level(k) > 2 {
+			t.Fatal("level exceeded max")
+		}
+	}
+	if l.Max() != 2 {
+		t.Fatal("Max() wrong")
+	}
+}
+
+func TestBernoulliProbability(t *testing.T) {
+	const n = 100000
+	for _, frac := range []struct{ num, den uint64 }{{1, 2}, {1, 4}, {1, 10}, {3, 4}} {
+		hits := 0
+		for k := uint64(0); k < n; k++ {
+			if Bernoulli(77, k, frac.num, frac.den) {
+				hits++
+			}
+		}
+		want := float64(n) * float64(frac.num) / float64(frac.den)
+		sigma := math.Sqrt(want)
+		if math.Abs(float64(hits)-want) > 6*sigma {
+			t.Errorf("Bernoulli(%d/%d): got %d hits, want ~%.0f", frac.num, frac.den, hits, want)
+		}
+	}
+}
+
+func TestBernoulliDeterministic(t *testing.T) {
+	for k := uint64(0); k < 100; k++ {
+		if Bernoulli(9, k, 1, 3) != Bernoulli(9, k, 1, 3) {
+			t.Fatal("Bernoulli not deterministic")
+		}
+	}
+}
+
+func TestBernoulliDegenerate(t *testing.T) {
+	for k := uint64(0); k < 100; k++ {
+		if Bernoulli(1, k, 0, 5) {
+			t.Fatal("probability 0 returned true")
+		}
+		if !Bernoulli(1, k, 5, 5) {
+			// num == den means probability 1; hi < num*2^64/den can
+			// only fail if h*den overflows exactly — it cannot since
+			// hi < den always when h < 2^64.
+			t.Fatal("probability 1 returned false")
+		}
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Mix64(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkPolyHashPairwise(b *testing.B) {
+	h := NewPolyHash(1, 2)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= h.Hash(uint64(i))
+	}
+	_ = acc
+}

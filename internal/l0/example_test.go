@@ -1,0 +1,38 @@
+package l0_test
+
+import (
+	"fmt"
+
+	"graphsketch/internal/l0"
+)
+
+// ExampleSampler shows the basic insert/delete/sample cycle: after the
+// churn cancels, only the surviving coordinate can be sampled.
+func ExampleSampler() {
+	s := l0.New(42, 1<<32, l0.Config{})
+	s.Update(7, 1)
+	s.Update(1000, 1)
+	s.Update(7, -1) // deletion: the sketch is linear
+
+	idx, val, ok := s.Sample()
+	fmt.Println(idx, val, ok)
+	// Output: 1000 1 true
+}
+
+// ExampleSampler_AddScaled shows the linearity the graph sketches build
+// on: sketches with the same seed merge, and a merged sketch behaves as if
+// it had seen both streams.
+func ExampleSampler_AddScaled() {
+	a := l0.New(7, 1<<20, l0.Config{})
+	b := l0.New(7, 1<<20, l0.Config{})
+	a.Update(3, 5)
+	b.Update(3, -5) // the other machine deletes what the first inserted
+	b.Update(9, 2)
+
+	if err := a.AddScaled(b, 1); err != nil {
+		panic(err)
+	}
+	idx, val, ok := a.Sample()
+	fmt.Println(idx, val, ok)
+	// Output: 9 2 true
+}

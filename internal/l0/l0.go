@@ -1,0 +1,213 @@
+// Package l0 implements L0 samplers in the style of Jowhari, Saglam and
+// Tardos: linear sketches of a dynamically updated vector f ∈ Z^domain from
+// which, at query time, one can extract a (near-)uniformly random element of
+// the support of f — or detect that the support is empty.
+//
+// The construction layers geometric subsampling over certified s-sparse
+// recovery: coordinate i participates in levels 0..Level(i) where
+// P[Level(i) ≥ l] = 2^-l, and each level holds an s-sparse recovery
+// structure. Whatever the support size, some level whp holds between 1 and
+// s surviving coordinates and decodes exactly; the sampler returns the
+// minimum-hash element of that level for uniformity.
+//
+// Samplers are linear: instances with identical seeds, domains, and configs
+// can be added and subtracted, which the graph sketches use to sum vertex
+// incidence vectors across supernodes (Boruvka rounds) and to peel known
+// subgraphs out of skeleton sketches.
+package l0
+
+import (
+	"math/bits"
+
+	"graphsketch/internal/field"
+	"graphsketch/internal/hashutil"
+	"graphsketch/internal/recovery"
+)
+
+// Config controls the shape (and hence space and failure probability) of a
+// sampler.
+type Config struct {
+	// S is the per-level recovery sparsity. Larger S lowers the
+	// probability that the support-size transition between adjacent
+	// levels skips past the decodable window. Default 8.
+	S int
+	// Rows and BucketsPerS are passed to the per-level s-sparse recovery.
+	Rows        int
+	BucketsPerS int
+	// MaxLevels caps the number of subsampling levels. The default is
+	// enough levels to thin any support within the domain to O(1):
+	// ⌈log2(domain)⌉ + 1.
+	MaxLevels int
+}
+
+func (c Config) withDefaults(domain uint64) Config {
+	if c.S <= 0 {
+		c.S = 8
+	}
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = bits.Len64(domain-1) + 1
+	}
+	return c
+}
+
+// Sampler is a linear L0-sampling sketch over [0, domain).
+//
+// Levels are allocated lazily: a level's recovery structure materializes on
+// the first update that reaches it. A coordinate reaches level l with
+// probability 2^-l, so a sampler that has seen d updates allocates about
+// log2(d) levels — this is what keeps a full graph sketch (one sampler per
+// vertex per round) proportional to the sketch's *information* content
+// rather than to the worst-case level count. An unallocated level is
+// exactly a zero structure; linearity is unaffected.
+type Sampler struct {
+	cfg    Config
+	dom    uint64
+	seed   uint64
+	ss     hashutil.SeedStream
+	levels []*recovery.SSparse // nil entries are implicitly zero
+	lh     hashutil.LevelHash
+	tie    uint64 // seed for the min-hash tie-break used by Sample
+	// All levels share one fingerprint point so a single ladder
+	// evaluation of z^i per update serves every touched level. The
+	// ladder is public randomness (derived from the seed) and shared
+	// between clones; it costs no sketch space.
+	z      field.Elem
+	ladder *field.Ladder
+}
+
+// New returns a sampler for indices in [0, domain). Samplers with equal
+// seeds, domains and configs are compatible for AddScaled.
+func New(seed uint64, domain uint64, cfg Config) *Sampler {
+	cfg = cfg.withDefaults(domain)
+	ss := hashutil.NewSeedStream(seed)
+	z := recovery.FingerprintPoint(ss.At(2))
+	return &Sampler{
+		cfg:    cfg,
+		dom:    domain,
+		seed:   seed,
+		ss:     ss,
+		lh:     hashutil.NewLevelHash(ss.At(0), cfg.MaxLevels-1),
+		tie:    ss.At(1),
+		levels: make([]*recovery.SSparse, cfg.MaxLevels),
+		z:      z,
+		ladder: field.NewLadder(z),
+	}
+}
+
+// level returns the recovery structure for lv, allocating it if needed.
+func (s *Sampler) level(lv int) *recovery.SSparse {
+	if s.levels[lv] == nil {
+		rcfg := recovery.SSparseConfig{S: s.cfg.S, Rows: s.cfg.Rows, BucketsPerS: s.cfg.BucketsPerS}
+		s.levels[lv] = recovery.NewSSparseAt(s.ss.At(uint64(100+lv)), s.dom, rcfg, s.z)
+	}
+	return s.levels[lv]
+}
+
+// Update applies f[i] += delta. One ladder evaluation of z^i serves every
+// touched level (they share the fingerprint point).
+func (s *Sampler) Update(i uint64, delta int64) {
+	top := s.lh.Level(i)
+	zPow := s.ladder.Pow(i)
+	for lv := 0; lv <= top; lv++ {
+		s.level(lv).UpdatePow(i, delta, zPow)
+	}
+}
+
+// AddScaled adds scale copies of o into s.
+func (s *Sampler) AddScaled(o *Sampler, scale int64) error {
+	if s.seed != o.seed || s.dom != o.dom || s.cfg != o.cfg {
+		return recovery.ErrIncompatible
+	}
+	for lv := range o.levels {
+		if o.levels[lv] == nil {
+			continue // adding zero
+		}
+		if err := s.level(lv).AddScaled(o.levels[lv], scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *Sampler) Clone() *Sampler {
+	cp := *s
+	cp.levels = make([]*recovery.SSparse, len(s.levels))
+	for lv := range s.levels {
+		if s.levels[lv] != nil {
+			cp.levels[lv] = s.levels[lv].Clone()
+		}
+	}
+	return &cp
+}
+
+// IsZero reports whether the sketch is consistent with the zero vector.
+func (s *Sampler) IsZero() bool {
+	return s.levels[0] == nil || s.levels[0].IsZero()
+}
+
+// Sample returns an element (index, value) of the support of f, chosen
+// near-uniformly at random by the seed's min-hash, or ok = false if the
+// support is empty or the sampler failed (all decodable levels were empty
+// while the vector is nonzero — detected, never silent).
+//
+// The returned coordinate is certified by the recovery fingerprints: up to
+// fingerprint collision probability (~2^-40) it is a true element of the
+// support with its true value.
+func (s *Sampler) Sample() (idx uint64, val int64, ok bool) {
+	// Scan from the sparsest level down; the first decodable level with
+	// nonempty support yields the sample.
+	for lv := len(s.levels) - 1; lv >= 0; lv-- {
+		if s.levels[lv] == nil {
+			continue // unallocated level is empty
+		}
+		vec, decoded := s.levels[lv].Decode()
+		if !decoded {
+			// This level is too dense; all sparser levels were empty,
+			// so the support-size transition skipped the window.
+			return 0, 0, false
+		}
+		if len(vec) == 0 {
+			continue
+		}
+		best := uint64(0)
+		bestHash := ^uint64(0)
+		for i := range vec {
+			h := hashutil.Mix64(s.tie + hashutil.Mix64(i))
+			if h < bestHash {
+				bestHash = h
+				best = i
+			}
+		}
+		return best, vec[best], true
+	}
+	return 0, 0, false // genuinely empty support
+}
+
+// Decode attempts full recovery of the vector, which succeeds when the
+// support has at most S elements (level 0 decodes). This is what the
+// spanning-graph sketches use when a supernode has few incident edges.
+func (s *Sampler) Decode() (map[uint64]int64, bool) {
+	if s.levels[0] == nil {
+		return map[uint64]int64{}, true
+	}
+	return s.levels[0].Decode()
+}
+
+// Domain returns the exclusive index upper bound.
+func (s *Sampler) Domain() uint64 { return s.dom }
+
+// Config returns the (defaulted) configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+// Words returns the memory footprint in 64-bit words. Only allocated levels
+// count: unallocated levels carry no state.
+func (s *Sampler) Words() int {
+	w := 0
+	for _, lv := range s.levels {
+		if lv != nil {
+			w += lv.Words()
+		}
+	}
+	return w
+}

@@ -1,0 +1,146 @@
+// Package lowerbound implements the paper's two communication lower-bound
+// reductions as executable protocols, generic over the structure under
+// attack. Both reduce from INDEX — Alice holds a bit matrix, Bob must
+// recover one bit from a single message — whose one-way randomized
+// communication is Ω(#bits) [Ablayev]:
+//
+//   - Theorem 5: any dynamic-stream structure answering "does removing
+//     these ≤ k vertices disconnect the graph?" lets Bob decode x[i,j]
+//     from Alice's (k+1)×n INDEX graph, so such structures need Ω(kn)
+//     bits.
+//   - Theorem 21: any dynamic-stream structure producing a scan-first
+//     search tree lets Bob decode x[i,j] from Alice's n×n four-layer
+//     graph, so SFST streaming needs Ω(n²) bits.
+//
+// Running a reduction against the library's own sketches (experiments E2
+// and E10b) demonstrates the protocols genuinely decode — the empirical
+// content of the lower bounds.
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"graphsketch/internal/graph"
+)
+
+// Index is an INDEX problem instance: Alice's bit matrix.
+type Index struct {
+	Rows, Cols int
+	Bits       [][]bool
+}
+
+// RandomIndex draws a uniform instance.
+func RandomIndex(rng *rand.Rand, rows, cols int) Index {
+	bits := make([][]bool, rows)
+	for i := range bits {
+		bits[i] = make([]bool, cols)
+		for j := range bits[i] {
+			bits[i][j] = rng.IntN(2) == 1
+		}
+	}
+	return Index{Rows: rows, Cols: cols, Bits: bits}
+}
+
+// QueryStructure is the interface Theorem 5 attacks: a dynamic-stream
+// structure supporting edge updates and vertex-removal queries.
+type QueryStructure interface {
+	Update(e graph.Hyperedge, delta int64) error
+	Disconnects(set map[int]bool) (bool, error)
+}
+
+// Theorem5Protocol runs the Theorem 5 reduction once: Alice streams the
+// INDEX bipartite graph for inst (which must have Rows = k+1) into a fresh
+// structure; Bob extends the stream to connect R∖{r_j} and anchor l_i, then
+// queries the removal of L∖{l_i}. Returns Bob's decoded bit.
+//
+// Vertex layout: L = {0..k}, R = {k+1 .. k+Cols}.
+func Theorem5Protocol(inst Index, build func() QueryStructure, i, j int) (bool, error) {
+	k := inst.Rows - 1
+	if k < 1 {
+		return false, fmt.Errorf("lowerbound: need Rows >= 2, got %d", inst.Rows)
+	}
+	if i < 0 || i > k || j < 0 || j >= inst.Cols {
+		return false, fmt.Errorf("lowerbound: index (%d,%d) out of range", i, j)
+	}
+	s := build()
+	// Alice's phase.
+	for ii := 0; ii <= k; ii++ {
+		for jj := 0; jj < inst.Cols; jj++ {
+			if inst.Bits[ii][jj] {
+				if err := s.Update(graph.MustEdge(ii, k+1+jj), 1); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	// Bob's phase: path over R∖{r_j}, anchored at l_i.
+	prev, anchor := -1, -1
+	for jj := 0; jj < inst.Cols; jj++ {
+		if jj == j {
+			continue
+		}
+		if prev >= 0 {
+			if err := s.Update(graph.MustEdge(k+1+prev, k+1+jj), 1); err != nil {
+				return false, err
+			}
+		} else {
+			anchor = jj
+		}
+		prev = jj
+	}
+	if anchor < 0 {
+		return false, fmt.Errorf("lowerbound: need Cols >= 2")
+	}
+	if err := s.Update(graph.MustEdge(i, k+1+anchor), 1); err != nil {
+		return false, err
+	}
+	set := map[int]bool{}
+	for ii := 0; ii <= k; ii++ {
+		if ii != i {
+			set[ii] = true
+		}
+	}
+	disconnected, err := s.Disconnects(set)
+	if err != nil {
+		return false, err
+	}
+	// r_j hangs connected iff x[i][j] = 1.
+	return !disconnected, nil
+}
+
+// Theorem5VertexCount returns the vertex count the protocol's graphs use
+// for an instance: (k+1) + Cols.
+func Theorem5VertexCount(inst Index) int { return inst.Rows + inst.Cols }
+
+// SFSTOracle is the interface Theorem 21 attacks: anything that can
+// produce a scan-first search tree of the current graph from a given root.
+// (The library's offline graphalg.ScanFirstTree satisfies it; any stream
+// structure claiming to would inherit the Ω(n²) bound.)
+type SFSTOracle func(g *graph.Hypergraph, root int) *graph.Hypergraph
+
+// Theorem21Protocol runs the Appendix A reduction once on an n×n instance:
+// Alice's graph on layers T, U, V, W (each of size n) has edges {t_k, u_l}
+// and {v_l, w_k} for every set bit x[l][k]; Bob adds {u_i, v_i} and decodes
+// x[i][j] from whether the SFST contains {t_j, u_i} or {v_i, w_j}.
+func Theorem21Protocol(inst Index, oracle SFSTOracle, i, j int) (bool, error) {
+	n := inst.Rows
+	if inst.Cols != n {
+		return false, fmt.Errorf("lowerbound: Theorem 21 needs a square instance")
+	}
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return false, fmt.Errorf("lowerbound: index (%d,%d) out of range", i, j)
+	}
+	g := graph.NewGraph(4 * n)
+	for l := 0; l < n; l++ {
+		for k := 0; k < n; k++ {
+			if inst.Bits[l][k] {
+				g.MustAddEdge(graph.MustEdge(k, n+l), 1)       // {t_k, u_l}
+				g.MustAddEdge(graph.MustEdge(2*n+l, 3*n+k), 1) // {v_l, w_k}
+			}
+		}
+	}
+	g.MustAddEdge(graph.MustEdge(n+i, 2*n+i), 1) // Bob's edge {u_i, v_i}
+	tree := oracle(g, n+i)
+	return tree.Has(graph.MustEdge(j, n+i)) || tree.Has(graph.MustEdge(2*n+i, 3*n+j)), nil
+}

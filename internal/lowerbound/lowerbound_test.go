@@ -1,0 +1,117 @@
+package lowerbound
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+)
+
+func TestTheorem5AgainstVertexConnSketch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, k := range []int{1, 2} {
+		inst := RandomIndex(rng, k+1, 12)
+		n := Theorem5VertexCount(inst)
+		correct := 0
+		trials := 12
+		for trial := 0; trial < trials; trial++ {
+			i, j := rng.IntN(k+1), rng.IntN(inst.Cols)
+			got, err := Theorem5Protocol(inst, func() QueryStructure {
+				s, err := vertexconn.New(vertexconn.Params{
+					N: n, K: k, Subgraphs: 48, Seed: uint64(100*k + trial)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == inst.Bits[i][j] {
+				correct++
+			}
+		}
+		if correct < trials-1 {
+			t.Fatalf("k=%d: decoded %d/%d bits", k, correct, trials)
+		}
+	}
+}
+
+// exactQueryStructure answers queries from an explicit graph — the
+// information-theoretic "cheating" baseline that shows the protocol itself
+// is sound regardless of the sketch.
+type exactQueryStructure struct {
+	g *graph.Hypergraph
+}
+
+func (e *exactQueryStructure) Update(ed graph.Hyperedge, delta int64) error {
+	return e.g.AddEdge(ed, delta)
+}
+
+func (e *exactQueryStructure) Disconnects(set map[int]bool) (bool, error) {
+	return graphalg.DisconnectsQueryMode(e.g, set, graph.DropIncident), nil
+}
+
+func TestTheorem5ProtocolSoundness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.IntN(3)
+		inst := RandomIndex(rng, k+1, 8)
+		i, j := rng.IntN(k+1), rng.IntN(8)
+		got, err := Theorem5Protocol(inst, func() QueryStructure {
+			return &exactQueryStructure{g: graph.NewGraph(Theorem5VertexCount(inst))}
+		}, i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != inst.Bits[i][j] {
+			t.Fatalf("trial %d: exact structure decoded wrong bit", trial)
+		}
+	}
+}
+
+func TestTheorem5Validation(t *testing.T) {
+	inst := RandomIndex(rand.New(rand.NewPCG(5, 6)), 2, 4)
+	build := func() QueryStructure { return &exactQueryStructure{g: graph.NewGraph(6)} }
+	if _, err := Theorem5Protocol(inst, build, 5, 0); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := Theorem5Protocol(inst, build, 0, 9); err == nil {
+		t.Error("col out of range accepted")
+	}
+	bad := Index{Rows: 1, Cols: 4, Bits: [][]bool{{false, false, false, false}}}
+	if _, err := Theorem5Protocol(bad, build, 0, 0); err == nil {
+		t.Error("Rows=1 accepted")
+	}
+}
+
+func TestTheorem21AllBits(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	inst := RandomIndex(rng, 8, 8)
+	oracle := SFSTOracle(graphalg.ScanFirstTree)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			got, err := Theorem21Protocol(inst, oracle, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != inst.Bits[i][j] {
+				t.Fatalf("bit (%d,%d) decoded wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestTheorem21Validation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	rect := RandomIndex(rng, 4, 5)
+	if _, err := Theorem21Protocol(rect, SFSTOracle(graphalg.ScanFirstTree), 0, 0); err == nil {
+		t.Error("rectangular instance accepted")
+	}
+	sq := RandomIndex(rng, 4, 4)
+	if _, err := Theorem21Protocol(sq, SFSTOracle(graphalg.ScanFirstTree), 4, 0); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package plan maps an accuracy/space profile to concrete sketch
+// parameters. The paper's theorems fix constants that drive failure
+// probability below n^{-Ω(k)} (R = 16k²ln n, R = 160k²ε⁻¹ln n,
+// K = ε⁻²(log n + r)); at experimental scales far smaller structures
+// already succeed with high probability. The profiles encode that
+// calibration in one place instead of scattering magic numbers:
+//
+//	Lean     — smallest structures that pass the repository's test suite;
+//	           right for interactive exploration and space-pressed runs.
+//	Balanced — comfortable margins; the default the CLIs and experiments
+//	           use. Matches the empirical settings in EXPERIMENTS.md.
+//	Theory   — the paper's constants; failure probability n^{-Ω(k)},
+//	           sizes to match.
+//
+// The profile tests validate each profile's promise empirically on
+// ground-truth workloads.
+package plan
+
+import (
+	"math"
+
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/l0"
+	"graphsketch/internal/sketch"
+)
+
+// Profile selects a point on the space/accuracy tradeoff.
+type Profile int
+
+const (
+	// Lean minimizes space at reduced (but still high) success rates.
+	Lean Profile = iota
+	// Balanced is the default: comfortable success margins.
+	Balanced
+	// Theory uses the paper's constants.
+	Theory
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case Lean:
+		return "lean"
+	case Balanced:
+		return "balanced"
+	case Theory:
+		return "theory"
+	default:
+		return "unknown"
+	}
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Spanning returns the spanning-sketch configuration for the profile.
+func Spanning(n int, p Profile) sketch.SpanningConfig {
+	switch p {
+	case Lean:
+		return sketch.SpanningConfig{
+			Rounds:  log2ceil(n) + 1,
+			Sampler: l0.Config{S: 4, Rows: 2},
+		}
+	case Theory:
+		return sketch.SpanningConfig{
+			Rounds:  2*log2ceil(n) + 4,
+			Sampler: l0.Config{S: 16, Rows: 3},
+		}
+	default:
+		return sketch.SpanningConfig{} // package defaults: log2(n)+2 rounds, S=8, Rows=3
+	}
+}
+
+// VertexConnQuery returns Theorem 4 query parameters for the profile.
+func VertexConnQuery(n, r, k int, seed uint64, p Profile) vertexconn.Params {
+	switch p {
+	case Theory:
+		pa := vertexconn.TheoryQueryParams(n, r, k, seed)
+		pa.Spanning = Spanning(n, Theory)
+		return pa
+	case Lean:
+		R := 12 * k
+		if R < 32 {
+			R = 32
+		}
+		return vertexconn.Params{N: n, R: r, K: k, Subgraphs: R, Seed: seed, Spanning: Spanning(n, Lean)}
+	default:
+		R := 32 * k
+		if R < 64 {
+			R = 64
+		}
+		return vertexconn.Params{N: n, R: r, K: k, Subgraphs: R, Seed: seed}
+	}
+}
+
+// VertexConnEstimate returns Theorem 8 estimation parameters for the
+// profile at approximation scale eps.
+func VertexConnEstimate(n, r, k int, eps float64, seed uint64, p Profile) vertexconn.Params {
+	switch p {
+	case Theory:
+		pa := vertexconn.TheoryEstimateParams(n, r, k, eps, seed)
+		pa.Spanning = Spanning(n, Theory)
+		return pa
+	case Lean:
+		R := int(float64(24*k*k) / math.Max(eps, 0.25))
+		if R < 48 {
+			R = 48
+		}
+		return vertexconn.Params{N: n, R: r, K: k, Subgraphs: R, Seed: seed, Spanning: Spanning(n, Lean)}
+	default:
+		R := int(float64(48*k*k) / math.Max(eps, 0.25))
+		if R < 96 {
+			R = 96
+		}
+		return vertexconn.Params{N: n, R: r, K: k, Subgraphs: R, Seed: seed}
+	}
+}
+
+// Sparsify returns Theorem 19/20 parameters for the profile at target
+// approximation eps.
+func Sparsify(n, r int, eps float64, seed uint64, p Profile) sparsify.Params {
+	var k int
+	switch p {
+	case Theory:
+		k = sparsify.TheoryK(n, r, eps, 1)
+	case Lean:
+		k = log2ceil(n) + r
+	default:
+		k = 2 * (log2ceil(n) + r)
+	}
+	pa := sparsify.Params{N: n, R: r, K: k, Seed: seed}
+	if p != Balanced {
+		pa.Spanning = Spanning(n, p)
+	}
+	return pa
+}

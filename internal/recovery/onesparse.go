@@ -1,0 +1,181 @@
+// Package recovery implements exact sparse recovery for dynamically updated
+// vectors: 1-sparse cells with fingerprint verification and certified
+// s-sparse recovery built from buckets of such cells.
+//
+// These are the primitives beneath every sketch in the repository. A vector
+// f ∈ Z^domain receives updates f[i] += delta (deltas may be negative — edge
+// deletions). A 1-sparse cell can tell, at query time, whether the restricted
+// vector it has seen is zero, has exactly one nonzero coordinate (and which),
+// or has more; an s-sparse structure recovers the entire vector exactly
+// whenever it has at most s nonzero coordinates, and *certifies* the
+// recovery with a global fingerprint so failures are detected rather than
+// silent.
+//
+// All structures are linear: two instances created with the same seed and
+// domain can be added or subtracted coordinate-wise via AddScaled, and the
+// result behaves exactly as if the combined update stream had been fed to a
+// single instance. This linearity is what the paper's peeling constructions
+// (k-skeletons, light_k reconstruction, sparsifier levels) rely on.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"graphsketch/internal/field"
+	"graphsketch/internal/hashutil"
+)
+
+// ErrIncompatible is returned when combining structures that were not
+// created with identical seeds and shapes.
+var ErrIncompatible = errors.New("recovery: incompatible structures (different seed, domain, or shape)")
+
+// OneSparse is an exact 1-sparse recovery cell over the index domain
+// [0, Domain). It stores three words: the exact sum of deltas, the first
+// index moment mod p, and a polynomial fingerprint at a seeded evaluation
+// point. The moment is kept mod p (not exactly) so that arbitrarily long
+// update streams cannot overflow it; the index is recovered by division in
+// the field and then verified against the fingerprint.
+type OneSparse struct {
+	count int64      // exact sum of deltas, assumed |count| < 2^61 (multigraph multiplicities are small)
+	mom   field.Elem // sum of delta * i mod p
+	fp    field.Elem // sum of delta * z^i mod p
+	z     field.Elem // fingerprint evaluation point, derived from the seed
+	dom   uint64     // exclusive upper bound on valid indices
+}
+
+// NewOneSparse returns a cell for indices in [0, domain). Cells created with
+// equal seeds and domains are compatible for AddScaled.
+func NewOneSparse(seed uint64, domain uint64) *OneSparse {
+	return NewOneSparseAt(fingerprintPoint(seed), domain)
+}
+
+// NewOneSparseAt returns a cell whose fingerprint is evaluated at the given
+// point. Containers that hold many cells use a shared point so that a
+// single z^i exponentiation per update serves every cell (see
+// SSparse.Update); sharing the point across cells is sound because the
+// cells' contents are determined by independent bucket hashes, and the
+// fingerprint's false-positive probability per decode stays O(domain/p).
+func NewOneSparseAt(z field.Elem, domain uint64) *OneSparse {
+	if z == 0 || z == 1 {
+		z = 2
+	}
+	return &OneSparse{dom: domain, z: z}
+}
+
+// FingerprintPoint derives the fingerprint evaluation point a structure
+// with this seed uses. Containers that share one point across many
+// sub-structures (the L0 sampler shares one across its levels, paired with
+// a field.Ladder) derive it here so compatibility checks keep working.
+func FingerprintPoint(seed uint64) field.Elem { return fingerprintPoint(seed) }
+
+func fingerprintPoint(seed uint64) field.Elem {
+	// Avoid the degenerate points 0 and 1, which would blind the
+	// fingerprint to entire classes of vectors.
+	z := field.Reduce(hashutil.Mix64(seed ^ 0x0f1e_2d3c_4b5a_6978))
+	if z == 0 || z == 1 {
+		z = 2
+	}
+	return z
+}
+
+// Update applies f[i] += delta.
+func (c *OneSparse) Update(i uint64, delta int64) {
+	if i >= c.dom {
+		panic(fmt.Sprintf("recovery: index %d out of domain %d", i, c.dom))
+	}
+	c.updatePow(i, delta, field.Pow(c.z, i))
+}
+
+// updatePow is Update with the fingerprint power z^i precomputed by the
+// caller, letting containers amortize the exponentiation across cells that
+// share the evaluation point.
+func (c *OneSparse) updatePow(i uint64, delta int64, zPow field.Elem) {
+	c.updatePowRed(field.Reduce(i), delta, zPow)
+}
+
+// updatePowRed is updatePow with the index also pre-reduced into the field
+// — containers hoist both the reduction and the exponentiation out of
+// their per-cell loops. Unit deltas (±1, the overwhelming common case for
+// edge streams) skip the generic scalar multiply entirely.
+func (c *OneSparse) updatePowRed(iRed field.Elem, delta int64, zPow field.Elem) {
+	c.count += delta
+	switch delta {
+	case 1:
+		c.mom = field.Add(c.mom, iRed)
+		c.fp = field.Add(c.fp, zPow)
+	case -1:
+		c.mom = field.Sub(c.mom, iRed)
+		c.fp = field.Sub(c.fp, zPow)
+	default:
+		d := field.FromInt64(delta)
+		c.mom = field.Add(c.mom, field.Mul(d, iRed))
+		c.fp = field.Add(c.fp, field.Mul(d, zPow))
+	}
+}
+
+// Z returns the fingerprint evaluation point (for containers that share it).
+func (c *OneSparse) Z() field.Elem { return c.z }
+
+// AddScaled adds scale copies of o into c: f_c += scale * f_o.
+func (c *OneSparse) AddScaled(o *OneSparse, scale int64) error {
+	if c.z != o.z || c.dom != o.dom {
+		return ErrIncompatible
+	}
+	s := field.FromInt64(scale)
+	c.count += scale * o.count
+	c.mom = field.Add(c.mom, field.Mul(s, o.mom))
+	c.fp = field.Add(c.fp, field.Mul(s, o.fp))
+	return nil
+}
+
+// Clone returns a deep copy.
+func (c *OneSparse) Clone() *OneSparse {
+	cp := *c
+	return &cp
+}
+
+// Reset returns the cell to the zero-vector state, keeping its randomness.
+func (c *OneSparse) Reset() {
+	c.count, c.mom, c.fp = 0, 0, 0
+}
+
+// IsZero reports whether the cell is consistent with the zero vector. A
+// nonzero vector passes this test only with probability O(degree/p) over the
+// fingerprint point — about 2^-40 for the domains used here.
+func (c *OneSparse) IsZero() bool {
+	return c.count == 0 && c.mom == 0 && c.fp == 0
+}
+
+// Decode attempts 1-sparse recovery. If the cell's vector has exactly one
+// nonzero coordinate i with value v, it returns (i, v, true) with high
+// probability. If the vector is zero or not 1-sparse, ok is false (with
+// failure probability O(domain/p) of a false positive).
+func (c *OneSparse) Decode() (i uint64, v int64, ok bool) {
+	if c.IsZero() || c.count == 0 {
+		// A truly 1-sparse vector has count equal to its nonzero value,
+		// so count == 0 means "zero or not 1-sparse" either way.
+		return 0, 0, false
+	}
+	f := field.FromInt64(c.count)
+	if f == 0 {
+		return 0, 0, false
+	}
+	idx := field.Mul(c.mom, field.Inv(f))
+	if uint64(idx) >= c.dom {
+		return 0, 0, false
+	}
+	// Verify: a 1-sparse vector with value count at idx has fingerprint
+	// count * z^idx.
+	if field.Mul(f, field.Pow(c.z, uint64(idx))) != c.fp {
+		return 0, 0, false
+	}
+	return uint64(idx), c.count, true
+}
+
+// Domain returns the exclusive index upper bound.
+func (c *OneSparse) Domain() uint64 { return c.dom }
+
+// Words returns the memory footprint in 64-bit words, used by the space
+// accounting in the experiments (the paper's results are all about space).
+func (c *OneSparse) Words() int { return 3 } // count, mom, fp; z is shared randomness

@@ -1,0 +1,15 @@
+package recovery
+
+import "graphsketch/internal/hashutil"
+
+// newSeedStream and newRowHash isolate the package's dependency on hashutil
+// so the recovery types read in terms of their own vocabulary.
+
+func newSeedStream(seed uint64) hashutil.SeedStream {
+	return hashutil.NewSeedStream(seed)
+}
+
+func newRowHash(seed uint64) polyBucket {
+	h := hashutil.NewPolyHash(seed, 2)
+	return h
+}

@@ -1,0 +1,69 @@
+package recovery
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"graphsketch/internal/field"
+)
+
+// ErrShortBuffer is returned when binary data is truncated.
+var ErrShortBuffer = errors.New("recovery: short buffer")
+
+// AppendBinary serializes the cell's state (24 bytes: count, moment,
+// fingerprint). The randomness (z, domain) is not serialized — it is public
+// and reconstructed from the seed by the receiver.
+func (c *OneSparse) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.count))
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.mom))
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.fp))
+	return b
+}
+
+// AddBinary adds a serialized cell state into c (linear merge) and returns
+// the remaining bytes. The serialized cell must come from a cell with the
+// same seed and domain; that invariant is the caller's (the protocol's
+// public randomness).
+func (c *OneSparse) AddBinary(b []byte) ([]byte, error) {
+	if len(b) < 24 {
+		return nil, ErrShortBuffer
+	}
+	c.count += int64(binary.LittleEndian.Uint64(b))
+	c.mom = field.Add(c.mom, field.Elem(binary.LittleEndian.Uint64(b[8:])))
+	c.fp = field.Add(c.fp, field.Elem(binary.LittleEndian.Uint64(b[16:])))
+	return b[24:], nil
+}
+
+// AppendBinary serializes the structure's cells ((1 + rows·buckets) × 24
+// bytes); shape and hashes are public randomness.
+func (t *SSparse) AppendBinary(b []byte) []byte {
+	b = t.total.AppendBinary(b)
+	for r := range t.cells {
+		for i := range t.cells[r] {
+			b = t.cells[r][i].AppendBinary(b)
+		}
+	}
+	return b
+}
+
+// AddBinary adds a serialized structure into t (linear merge) and returns
+// the remaining bytes.
+func (t *SSparse) AddBinary(b []byte) ([]byte, error) {
+	var err error
+	if b, err = t.total.AddBinary(b); err != nil {
+		return nil, err
+	}
+	for r := range t.cells {
+		for i := range t.cells[r] {
+			if b, err = t.cells[r][i].AddBinary(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// BinarySize returns the serialized size in bytes.
+func (t *SSparse) BinarySize() int {
+	return (1 + t.rows*t.buckets) * 24
+}

@@ -1,0 +1,250 @@
+package recovery
+
+import (
+	"fmt"
+
+	"graphsketch/internal/field"
+)
+
+// SSparse recovers a dynamically updated vector exactly whenever it has at
+// most S nonzero coordinates, and certifies success. It hashes each
+// coordinate into Buckets buckets in each of Rows independent rows; each
+// bucket is a 1-sparse cell. Decoding peels: any bucket holding exactly one
+// surviving coordinate reveals it, the coordinate is subtracted everywhere,
+// and the process repeats. A separate global fingerprint cell certifies that
+// the peeled set equals the full vector.
+//
+// With Buckets >= 2*S and Rows >= 2 the decode succeeds with constant
+// probability per row set; callers that need high-probability recovery
+// repeat the structure (the L0 sampler and skeleton sketches do exactly
+// that and detect failures via the certification).
+type SSparse struct {
+	s       int
+	rows    int
+	buckets int
+	dom     uint64
+	seed    uint64
+	hash    []bucketHasher // one per row
+	cells   [][]OneSparse  // [row][bucket]
+	total   OneSparse      // global certification cell
+}
+
+// bucketHasher is a pairwise-independent map from indices to buckets.
+type bucketHasher struct {
+	h polyBucket
+	m int
+}
+
+// polyBucket wraps hashutil.PolyHash without re-exporting it in the API.
+type polyBucket interface {
+	Bucket(key uint64, m int) int
+}
+
+// SSparseConfig controls the shape of an SSparse structure.
+type SSparseConfig struct {
+	// S is the sparsity the structure must recover. Must be >= 1.
+	S int
+	// Rows is the number of independent hash rows. Defaults to 3: with
+	// two rows a pair of coordinates colliding in both rows (probability
+	// ~ s²/buckets² per pair) is un-peelable; a third row makes that
+	// event rare enough that the repetition at higher layers is cheap.
+	Rows int
+	// BucketsPerS scales the bucket count as BucketsPerS*S. Defaults to 2.
+	BucketsPerS int
+}
+
+func (c SSparseConfig) withDefaults() SSparseConfig {
+	if c.Rows <= 0 {
+		c.Rows = 3
+	}
+	if c.BucketsPerS <= 0 {
+		c.BucketsPerS = 2
+	}
+	return c
+}
+
+// NewSSparse returns an s-sparse recovery structure for indices in
+// [0, domain). Instances with equal seeds, domains and configs are
+// compatible for AddScaled.
+func NewSSparse(seed uint64, domain uint64, cfg SSparseConfig) *SSparse {
+	return NewSSparseAt(seed, domain, cfg, 0)
+}
+
+// NewSSparseAt is NewSSparse with an explicit fingerprint point (pass 0 to
+// derive it from the seed). Containers holding many structures share one
+// point so a single z^i — typically from a field.Ladder — serves every
+// structure per update via UpdatePow.
+func NewSSparseAt(seed uint64, domain uint64, cfg SSparseConfig, z field.Elem) *SSparse {
+	cfg = cfg.withDefaults()
+	if cfg.S < 1 {
+		panic("recovery: SSparseConfig.S must be >= 1")
+	}
+	buckets := cfg.S * cfg.BucketsPerS
+	if buckets < 2 {
+		buckets = 2
+	}
+	ss := newSeedStream(seed)
+	if z == 0 {
+		z = fingerprintPoint(ss.At(0))
+	}
+	t := &SSparse{
+		s:       cfg.S,
+		rows:    cfg.Rows,
+		buckets: buckets,
+		dom:     domain,
+		seed:    seed,
+		total:   *NewOneSparseAt(z, domain),
+	}
+	t.hash = make([]bucketHasher, cfg.Rows)
+	t.cells = make([][]OneSparse, cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		t.hash[r] = bucketHasher{h: newRowHash(ss.At(uint64(1 + r))), m: buckets}
+		row := make([]OneSparse, buckets)
+		for b := range row {
+			row[b] = *NewOneSparseAt(z, domain)
+		}
+		t.cells[r] = row
+	}
+	return t
+}
+
+// Update applies f[i] += delta. All cells share the fingerprint point, so a
+// single exponentiation serves the certification cell and every row.
+func (t *SSparse) Update(i uint64, delta int64) {
+	t.UpdatePow(i, delta, field.Pow(t.total.z, i))
+}
+
+// UpdatePow is Update with the fingerprint power z^i precomputed by the
+// caller — which must use this structure's point (Z); containers holding
+// many structures at a shared point amortize one ladder evaluation across
+// all of them.
+func (t *SSparse) UpdatePow(i uint64, delta int64, zPow field.Elem) {
+	if i >= t.dom {
+		panic(fmt.Sprintf("recovery: index %d out of domain %d", i, t.dom))
+	}
+	iRed := field.Reduce(i)
+	t.total.updatePowRed(iRed, delta, zPow)
+	for r := 0; r < t.rows; r++ {
+		t.cells[r][t.hash[r].h.Bucket(i, t.hash[r].m)].updatePowRed(iRed, delta, zPow)
+	}
+}
+
+// Z returns the fingerprint evaluation point.
+func (t *SSparse) Z() field.Elem { return t.total.z }
+
+// AddScaled adds scale copies of o into t.
+func (t *SSparse) AddScaled(o *SSparse, scale int64) error {
+	if t.seed != o.seed || t.dom != o.dom || t.rows != o.rows || t.buckets != o.buckets {
+		return ErrIncompatible
+	}
+	if err := t.total.AddScaled(&o.total, scale); err != nil {
+		return err
+	}
+	for r := 0; r < t.rows; r++ {
+		for b := 0; b < t.buckets; b++ {
+			if err := t.cells[r][b].AddScaled(&o.cells[r][b], scale); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *SSparse) Clone() *SSparse {
+	cp := *t
+	cp.cells = make([][]OneSparse, t.rows)
+	for r := range t.cells {
+		row := make([]OneSparse, len(t.cells[r]))
+		copy(row, t.cells[r])
+		cp.cells[r] = row
+	}
+	return &cp
+}
+
+// IsZero reports whether the structure is consistent with the zero vector.
+func (t *SSparse) IsZero() bool {
+	return t.total.IsZero()
+}
+
+// Decode attempts to recover the full vector. On success it returns the map
+// of nonzero coordinates and true; the result is certified by the global
+// fingerprint, so a true return is correct up to fingerprint collision
+// probability (~2^-40). On failure (vector not s-sparse, or unlucky
+// hashing) it returns nil and false — it never silently returns a wrong or
+// partial vector.
+func (t *SSparse) Decode() (map[uint64]int64, bool) {
+	work := t.Clone()
+	out := make(map[uint64]int64)
+	// Peeling: each successful peel zeroes one coordinate, and a vector
+	// that decodes has at most rows*buckets live coordinates in the worst
+	// imaginable case; cap iterations defensively.
+	maxIter := t.rows*t.buckets + 4
+	for iter := 0; iter < maxIter; iter++ {
+		peeled := false
+		for r := 0; r < t.rows && !peeled; r++ {
+			for b := 0; b < t.buckets && !peeled; b++ {
+				cell := &work.cells[r][b]
+				i, v, ok := cell.Decode()
+				if !ok {
+					continue
+				}
+				// Guard against fingerprint false positives that
+				// hash elsewhere: the index must belong here.
+				if work.hash[r].h.Bucket(i, work.hash[r].m) != b {
+					continue
+				}
+				out[i] += v
+				work.subtract(i, v)
+				peeled = true
+			}
+		}
+		if !peeled {
+			break
+		}
+	}
+	if !work.allZero() {
+		return nil, false
+	}
+	for i, v := range out {
+		if v == 0 {
+			delete(out, i)
+		}
+	}
+	return out, true
+}
+
+// subtract removes value v at index i from every cell.
+func (t *SSparse) subtract(i uint64, v int64) {
+	t.total.Update(i, -v)
+	for r := 0; r < t.rows; r++ {
+		t.cells[r][t.hash[r].h.Bucket(i, t.hash[r].m)].Update(i, -v)
+	}
+}
+
+// allZero reports whether every cell, including the certification cell, is
+// consistent with zero.
+func (t *SSparse) allZero() bool {
+	if !t.total.IsZero() {
+		return false
+	}
+	for r := range t.cells {
+		for b := range t.cells[r] {
+			if !t.cells[r][b].IsZero() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// S returns the design sparsity.
+func (t *SSparse) S() int { return t.s }
+
+// Domain returns the exclusive index upper bound.
+func (t *SSparse) Domain() uint64 { return t.dom }
+
+// Words returns the memory footprint in 64-bit words.
+func (t *SSparse) Words() int {
+	return t.total.Words() + t.rows*t.buckets*3
+}

@@ -1,0 +1,78 @@
+package sketch
+
+import "errors"
+
+// ErrShare is returned when a serialized vertex share is malformed.
+var ErrShare = errors.New("sketch: malformed vertex share")
+
+// VertexShare serializes vertex v's share of the spanning sketch: its
+// samplers across all rounds. This is exactly the message player P_v sends
+// to the referee in the simultaneous communication model of Becker et al.
+// (the sketch is vertex-based: v's samplers depend only on edges incident
+// to v, which is precisely P_v's input).
+func (s *SpanningSketch) VertexShare(v int) []byte {
+	var b []byte
+	for t := range s.samplers {
+		b = s.samplers[t][v].AppendBinary(b)
+	}
+	return b
+}
+
+// AddVertexShare merges a serialized vertex share into this sketch
+// (linearly). The share must come from a sketch with identical seed,
+// domain, and config — the protocol's shared public randomness.
+func (s *SpanningSketch) AddVertexShare(v int, data []byte) error {
+	rest, err := s.AddVertexShareFrom(v, data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrShare
+	}
+	return nil
+}
+
+// AddVertexShareFrom merges a vertex share from the front of b and returns
+// the remaining bytes, for composition into larger protocol messages.
+func (s *SpanningSketch) AddVertexShareFrom(v int, b []byte) ([]byte, error) {
+	var err error
+	for t := range s.samplers {
+		if b, err = s.samplers[t][v].AddBinary(b); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// VertexShare serializes vertex v's share across all skeleton layers.
+func (s *SkeletonSketch) VertexShare(v int) []byte {
+	var b []byte
+	for _, l := range s.layers {
+		b = append(b, l.VertexShare(v)...)
+	}
+	return b
+}
+
+// AddVertexShare merges a serialized skeleton vertex share.
+func (s *SkeletonSketch) AddVertexShare(v int, data []byte) error {
+	rest, err := s.AddVertexShareFrom(v, data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrShare
+	}
+	return nil
+}
+
+// AddVertexShareFrom merges a skeleton vertex share from the front of b and
+// returns the remaining bytes.
+func (s *SkeletonSketch) AddVertexShareFrom(v int, b []byte) ([]byte, error) {
+	var err error
+	for _, l := range s.layers {
+		if b, err = l.AddVertexShareFrom(v, b); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

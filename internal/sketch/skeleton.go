@@ -1,0 +1,134 @@
+package sketch
+
+import (
+	"fmt"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/hashutil"
+)
+
+// SkeletonSketch is the paper's Theorem 14 structure: k independent
+// spanning-graph sketches A¹, …, A^k from which a k-skeleton — a subgraph
+// H' with |δ_H'(S)| ≥ min(|δ_H(S)|, k) for every cut — is decoded by
+// peeling: F_i is a spanning graph of G − F_1 − … − F_{i−1}, obtained from
+// A^i(G) − Σ_j A^i(F_j) by linearity.
+//
+// The independence of the k sketches is essential and deliberate: the F_j
+// depend on sketch randomness, so re-using a single sketch across peels
+// would make the union bound invalid (Section 4.2 of the paper; experiment
+// E10 demonstrates the failure empirically).
+type SkeletonSketch struct {
+	dom    graph.Domain
+	k      int
+	seed   uint64
+	layers []*SpanningSketch
+}
+
+// NewSkeleton returns an empty k-skeleton sketch. k must be at least 1.
+func NewSkeleton(seed uint64, dom graph.Domain, k int, cfg SpanningConfig) *SkeletonSketch {
+	if k < 1 {
+		panic("sketch: skeleton needs k >= 1")
+	}
+	ss := hashutil.NewSeedStream(seed ^ 0x5ce1e7_0a)
+	layers := make([]*SpanningSketch, k)
+	for i := range layers {
+		layers[i] = NewSpanning(ss.At(uint64(i)), dom, cfg)
+	}
+	return &SkeletonSketch{dom: dom, k: k, seed: seed, layers: layers}
+}
+
+// Update applies a weighted hyperedge update to every layer.
+func (s *SkeletonSketch) Update(e graph.Hyperedge, delta int64) error {
+	for _, l := range s.layers {
+		if err := l.Update(e, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateGraph applies every weighted edge of h, scaled by scale, to every
+// layer. With scale = −1 this subtracts a known subgraph — the operation
+// that lets light_k reconstruction re-use one skeleton sketch across its
+// (deterministically defined) peeling rounds.
+func (s *SkeletonSketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
+	for _, l := range s.layers {
+		if err := l.UpdateGraph(h, scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddScaled adds scale copies of o into s.
+func (s *SkeletonSketch) AddScaled(o *SkeletonSketch, scale int64) error {
+	if s.seed != o.seed || s.dom != o.dom || s.k != o.k {
+		return fmt.Errorf("sketch: incompatible skeleton sketches")
+	}
+	for i := range s.layers {
+		if err := s.layers[i].AddScaled(o.layers[i], scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *SkeletonSketch) Clone() *SkeletonSketch {
+	layers := make([]*SpanningSketch, len(s.layers))
+	for i := range layers {
+		layers[i] = s.layers[i].Clone()
+	}
+	return &SkeletonSketch{dom: s.dom, k: s.k, seed: s.seed, layers: layers}
+}
+
+// Skeleton decodes a k-skeleton of the sketched hypergraph: the union of
+// forests F_1 ∪ … ∪ F_k where F_i spans G − F_1 − … − F_{i−1}. Layer i's
+// sketch is peeled by linear subtraction of the already-decoded forests.
+func (s *SkeletonSketch) Skeleton() (*graph.Hypergraph, error) {
+	skeleton := graph.MustHypergraph(s.dom.N(), s.dom.R())
+	var forests []*graph.Hypergraph
+	for i, layer := range s.layers {
+		work := layer.Clone()
+		for _, f := range forests {
+			if err := work.UpdateGraph(f, -1); err != nil {
+				return nil, err
+			}
+		}
+		f, err := work.SpanningGraph()
+		if err != nil {
+			return nil, fmt.Errorf("sketch: skeleton layer %d: %w", i, err)
+		}
+		forests = append(forests, f)
+		for _, e := range f.Edges() {
+			// Forests are edge-disjoint by construction (each layer spans
+			// the graph minus all earlier forests).
+			skeleton.MustAddEdge(e, 1)
+		}
+	}
+	return skeleton, nil
+}
+
+// K returns the skeleton's connectivity parameter.
+func (s *SkeletonSketch) K() int { return s.k }
+
+// Domain returns the hyperedge key domain.
+func (s *SkeletonSketch) Domain() graph.Domain { return s.dom }
+
+// Words returns the total memory footprint in 64-bit words.
+func (s *SkeletonSketch) Words() int {
+	w := 0
+	for _, l := range s.layers {
+		w += l.Words()
+	}
+	return w
+}
+
+// VertexWords returns a single vertex's share of the sketch.
+func (s *SkeletonSketch) VertexWords(v int) int {
+	w := 0
+	for _, l := range s.layers {
+		w += l.VertexWords(v)
+	}
+	return w
+}

@@ -1,0 +1,287 @@
+// Package sketch implements the paper's linear graph sketches: the
+// AGM-style spanning-graph sketch, generalized to hypergraphs exactly as in
+// Section 4.1 (Theorem 13), and the k-skeleton sketch built from k
+// independent spanning sketches (Theorem 14).
+//
+// A sketch is vertex-based: every vertex v owns, for each Boruvka round, an
+// L0 sampler of its incidence vector a_v, where for a hyperedge e
+//
+//	a_v[e] = |e|−1  if v = min(e),   −1  if v ∈ e \ {min(e)},   0 otherwise.
+//
+// The only subsets of {|e|−1, −1, …, −1} summing to zero are the empty set
+// and the whole set, so for any vertex set S the vector Σ_{v∈S} a_v is
+// supported exactly on δ(S) — summing the samplers of a supernode's members
+// therefore yields an L0 sampler of the supernode's cut, which is what the
+// Boruvka decoding exploits. For ordinary graphs (r = 2) the coefficients
+// reduce to the familiar +1/−1 orientation of AGM.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
+	"graphsketch/internal/l0"
+)
+
+// ErrDecodeFailed is returned when a sketch cannot be decoded — the
+// repetition budget was exhausted without certifying a result. Failures are
+// always detected (the underlying recoveries are certified), never silent.
+var ErrDecodeFailed = errors.New("sketch: decode failed (increase Rounds or sampler size)")
+
+// SpanningConfig controls a spanning-graph sketch.
+type SpanningConfig struct {
+	// Rounds is the number of independent sampler copies, one per Boruvka
+	// round. Fresh randomness per round is what makes the adaptive
+	// merging sound (Section 4.2 discusses exactly why reuse is not).
+	// Default: ⌈log2 n⌉ + 2.
+	Rounds int
+	// Sampler configures the per-vertex L0 samplers.
+	Sampler l0.Config
+}
+
+func (c SpanningConfig) withDefaults(n int) SpanningConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = bits.Len(uint(n-1)) + 2
+	}
+	return c
+}
+
+// SpanningSketch is a linear, vertex-based sketch of a hypergraph from which
+// a spanning graph (a maximal-connectivity certificate: one forest of
+// hyperedges) can be decoded with high probability.
+type SpanningSketch struct {
+	dom  graph.Domain
+	cfg  SpanningConfig
+	seed uint64
+	// samplers[t][v] is vertex v's sampler for round t. All samplers in a
+	// round share one seed (the same linear projection applied to every
+	// incidence vector); rounds are independent.
+	samplers [][]*l0.Sampler
+}
+
+// NewSpanning returns an empty spanning-graph sketch for hypergraphs over
+// the given domain. Sketches with equal seeds, domains and configs are
+// compatible for AddScaled.
+func NewSpanning(seed uint64, dom graph.Domain, cfg SpanningConfig) *SpanningSketch {
+	cfg = cfg.withDefaults(dom.N())
+	ss := hashutil.NewSeedStream(seed)
+	s := &SpanningSketch{dom: dom, cfg: cfg, seed: seed}
+	s.samplers = make([][]*l0.Sampler, cfg.Rounds)
+	for t := 0; t < cfg.Rounds; t++ {
+		roundSeed := ss.At(uint64(t))
+		row := make([]*l0.Sampler, dom.N())
+		for v := range row {
+			row[v] = l0.New(roundSeed, dom.Size(), cfg.Sampler)
+		}
+		s.samplers[t] = row
+	}
+	return s
+}
+
+// Update applies the insertion (delta = +1) or deletion (delta = −1) of
+// hyperedge e, or a weighted variant. The update touches only the samplers
+// of e's endpoints — the sketch is vertex-based.
+func (s *SpanningSketch) Update(e graph.Hyperedge, delta int64) error {
+	key, err := s.dom.Encode(e)
+	if err != nil {
+		return err
+	}
+	head := int64(len(e) - 1)
+	for t := range s.samplers {
+		for i, v := range e {
+			coeff := int64(-1)
+			if i == 0 { // e is canonical: e[0] = min(e)
+				coeff = head
+			}
+			s.samplers[t][v].Update(key, delta*coeff)
+		}
+	}
+	return nil
+}
+
+// UpdateGraph applies every weighted edge of h, scaled by scale. With
+// scale = −1 this is the linear subtraction the skeleton peeling uses.
+func (s *SpanningSketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
+	for _, we := range h.WeightedEdges() {
+		if err := s.Update(we.E, we.W*scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddScaled adds scale copies of o into s (same seed/domain/config).
+func (s *SpanningSketch) AddScaled(o *SpanningSketch, scale int64) error {
+	if s.seed != o.seed || s.dom != o.dom || s.cfg != o.cfg {
+		return fmt.Errorf("sketch: incompatible spanning sketches")
+	}
+	for t := range s.samplers {
+		for v := range s.samplers[t] {
+			if err := s.samplers[t][v].AddScaled(o.samplers[t][v], scale); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *SpanningSketch) Clone() *SpanningSketch {
+	cp := &SpanningSketch{dom: s.dom, cfg: s.cfg, seed: s.seed}
+	cp.samplers = make([][]*l0.Sampler, len(s.samplers))
+	for t := range s.samplers {
+		row := make([]*l0.Sampler, len(s.samplers[t]))
+		for v := range row {
+			row[v] = s.samplers[t][v].Clone()
+		}
+		cp.samplers[t] = row
+	}
+	return cp
+}
+
+// SpanningGraph decodes a spanning graph of the sketched hypergraph: a
+// subgraph with the same connected components, at most n−1 hyperedges. The
+// decoding is the Boruvka process of Ahn et al.: in each round, every
+// current component samples one hyperedge leaving it (by summing its
+// members' samplers for that round) and components merge along the sampled
+// edges.
+//
+// It returns ErrDecodeFailed if the rounds are exhausted while some
+// component both fails to produce a sample and cannot be certified as
+// fully merged; every returned edge is fingerprint-certified real.
+func (s *SpanningSketch) SpanningGraph() (*graph.Hypergraph, error) {
+	n := s.dom.N()
+	forest := graph.MustHypergraph(n, s.dom.R())
+	d := graphalg.NewDSU(n)
+	// done[root] marks components whose cut was certified empty (no edges
+	// leave them): they can be skipped in later rounds.
+	done := make(map[int]bool)
+
+	for t := 0; t < s.cfg.Rounds; t++ {
+		groups := d.Groups()
+		active := 0
+		for root := range groups {
+			if !done[root] {
+				active++
+			}
+		}
+		if active <= 1 {
+			return forest, nil
+		}
+		type found struct{ e graph.Hyperedge }
+		var merges []found
+		for root, members := range groups {
+			if done[root] {
+				continue
+			}
+			sum := s.sumComponent(t, members)
+			key, _, ok := sum.Sample()
+			if !ok {
+				if sum.IsZero() {
+					// Certified: nothing leaves this component.
+					done[root] = true
+				}
+				continue
+			}
+			e, err := s.dom.Decode(key)
+			if err != nil {
+				// A fingerprint false positive (~2^-40); treat as a
+				// failed sample for this round.
+				continue
+			}
+			merges = append(merges, found{e: e})
+		}
+		for _, m := range merges {
+			merged := false
+			for i := 1; i < len(m.e); i++ {
+				if d.Union(m.e[0], m.e[i]) {
+					merged = true
+				}
+			}
+			if merged {
+				forest.MustAddEdge(m.e, 1)
+			}
+		}
+	}
+
+	// Rounds exhausted. If every remaining component is certified done,
+	// the forest is complete; otherwise we may have missed connectivity.
+	for root, members := range d.Groups() {
+		if done[root] {
+			continue
+		}
+		sum := s.sumComponent(s.cfg.Rounds-1, members)
+		if !sum.IsZero() {
+			return nil, ErrDecodeFailed
+		}
+		_ = root
+	}
+	return forest, nil
+}
+
+// sumComponent returns the round-t sampler of the cut vector of the given
+// component (the sum of its members' samplers).
+func (s *SpanningSketch) sumComponent(t int, members []int) *l0.Sampler {
+	sum := s.samplers[t][members[0]].Clone()
+	for _, v := range members[1:] {
+		// Same round => same seed: AddScaled cannot fail.
+		if err := sum.AddScaled(s.samplers[t][v], 1); err != nil {
+			panic(err)
+		}
+	}
+	return sum
+}
+
+// Connected decodes the sketch and reports whether the hypergraph is
+// connected over all n vertices. This is the paper's "first dynamic graph
+// algorithm for hypergraph connectivity" (Section 4.1).
+func (s *SpanningSketch) Connected() (bool, error) {
+	f, err := s.SpanningGraph()
+	if err != nil {
+		return false, err
+	}
+	return graphalg.Connected(f), nil
+}
+
+// Components decodes the sketch and returns the connected components.
+func (s *SpanningSketch) Components() (*graphalg.DSU, error) {
+	f, err := s.SpanningGraph()
+	if err != nil {
+		return nil, err
+	}
+	return graphalg.ComponentsOf(f), nil
+}
+
+// Domain returns the sketch's hyperedge key domain.
+func (s *SpanningSketch) Domain() graph.Domain { return s.dom }
+
+// Config returns the (defaulted) configuration.
+func (s *SpanningSketch) Config() SpanningConfig { return s.cfg }
+
+// Seed returns the master seed.
+func (s *SpanningSketch) Seed() uint64 { return s.seed }
+
+// Words returns the total memory footprint in 64-bit words.
+func (s *SpanningSketch) Words() int {
+	w := 0
+	for t := range s.samplers {
+		for v := range s.samplers[t] {
+			w += s.samplers[t][v].Words()
+		}
+	}
+	return w
+}
+
+// VertexWords returns the memory footprint of a single vertex's share of
+// the sketch — the message size in the simultaneous communication model.
+func (s *SpanningSketch) VertexWords(v int) int {
+	w := 0
+	for t := range s.samplers {
+		w += s.samplers[t][v].Words()
+	}
+	return w
+}

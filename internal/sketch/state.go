@@ -1,0 +1,57 @@
+package sketch
+
+// State serializes the sketch's full contents — every vertex's share in
+// order — for checkpointing a long-running stream consumer. The seed,
+// domain, and config are NOT serialized: they are the structure's identity,
+// and restoring requires constructing an identically-parameterized sketch
+// first (exactly as the communication model's public randomness works).
+func (s *SpanningSketch) State() []byte {
+	var b []byte
+	for v := 0; v < s.dom.N(); v++ {
+		b = append(b, s.VertexShare(v)...)
+	}
+	return b
+}
+
+// AddState merges a serialized state into the sketch (linearly). Restoring
+// a checkpoint means calling AddState on a freshly constructed sketch with
+// the same seed, domain and config; calling it on a non-empty sketch adds
+// the two streams' contents, which is itself meaningful by linearity.
+func (s *SpanningSketch) AddState(data []byte) error {
+	b := data
+	var err error
+	for v := 0; v < s.dom.N(); v++ {
+		if b, err = s.AddVertexShareFrom(v, b); err != nil {
+			return err
+		}
+	}
+	if len(b) != 0 {
+		return ErrShare
+	}
+	return nil
+}
+
+// State serializes the skeleton sketch's full contents (see
+// SpanningSketch.State).
+func (s *SkeletonSketch) State() []byte {
+	var b []byte
+	for v := 0; v < s.dom.N(); v++ {
+		b = append(b, s.VertexShare(v)...)
+	}
+	return b
+}
+
+// AddState merges a serialized skeleton state (see SpanningSketch.AddState).
+func (s *SkeletonSketch) AddState(data []byte) error {
+	b := data
+	var err error
+	for v := 0; v < s.dom.N(); v++ {
+		if b, err = s.AddVertexShareFrom(v, b); err != nil {
+			return err
+		}
+	}
+	if len(b) != 0 {
+		return ErrShare
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package sketch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch/internal/graph"
+)
+
+func TestSpanningStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 1))
+	h := randomGraph(rng, 20, 50)
+	const seed = 9
+	a := NewSpanning(seed, h.Domain(), SpanningConfig{})
+	if err := a.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	state := a.State()
+
+	// Restore into a fresh sketch and continue streaming.
+	b := NewSpanning(seed, h.Domain(), SpanningConfig{})
+	if err := b.AddState(state); err != nil {
+		t.Fatal(err)
+	}
+	extra := graph.MustEdge(0, 19)
+	if err := a.Update(extra, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update(extra, 1); err != nil {
+		t.Fatal(err)
+	}
+	fa, errA := a.SpanningGraph()
+	fb, errB := b.SpanningGraph()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !fa.Equal(fb) {
+		t.Fatal("restored sketch decodes differently")
+	}
+}
+
+func TestSpanningStateMergesTwoStreams(t *testing.T) {
+	// Checkpoint merging = distributed aggregation: two machines each
+	// process half the stream; states add.
+	rng := rand.New(rand.NewPCG(32, 1))
+	h := randomGraph(rng, 16, 40)
+	const seed = 4
+	m1 := NewSpanning(seed, h.Domain(), SpanningConfig{})
+	m2 := NewSpanning(seed, h.Domain(), SpanningConfig{})
+	for i, e := range h.Edges() {
+		target := m1
+		if i%2 == 1 {
+			target = m2
+		}
+		if err := target.Update(e, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := NewSpanning(seed, h.Domain(), SpanningConfig{})
+	if err := agg.AddState(m1.State()); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.AddState(m2.State()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.SpanningGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range f.Edges() {
+		if !h.Has(e) {
+			t.Fatalf("aggregated decode fabricated edge %v", e)
+		}
+	}
+	sameConnectivity(t, h, f, "aggregated state")
+}
+
+func TestSkeletonStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 1))
+	h := randomGraph(rng, 12, 30)
+	const seed = 5
+	a := NewSkeleton(seed, h.Domain(), 2, SpanningConfig{})
+	if err := a.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	b := NewSkeleton(seed, h.Domain(), 2, SpanningConfig{})
+	if err := b.AddState(a.State()); err != nil {
+		t.Fatal(err)
+	}
+	sa, errA := a.Skeleton()
+	sb, errB := b.Skeleton()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !sa.Equal(sb) {
+		t.Fatal("restored skeleton decodes differently")
+	}
+}
+
+func TestAddStateRejectsTruncated(t *testing.T) {
+	dom := graph.MustDomain(8, 2)
+	a := NewSpanning(1, dom, SpanningConfig{})
+	if err := a.Update(graph.MustEdge(0, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	state := a.State()
+	b := NewSpanning(1, dom, SpanningConfig{})
+	if err := b.AddState(state[:len(state)-3]); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	if err := b.AddState(append(state, 0xff)); err == nil {
+		t.Fatal("over-long state accepted")
+	}
+}

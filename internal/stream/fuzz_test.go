@@ -1,0 +1,42 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks the parser never panics and that everything it
+// accepts round-trips through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("+ 0 1\n- 0 1\n")
+	f.Add("# comment\n+ 3 1 2\n")
+	f.Add("+ 0 1")
+	f.Add("- 5 5\n")
+	f.Add("+\n")
+	f.Add("+ -1 2\n")
+	f.Add("* 1 2\n")
+	f.Add("+ 1 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, s); err != nil {
+			t.Fatalf("WriteText failed on accepted stream: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip length %d != %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i].Op != s[i].Op || !back[i].Edge.Equal(s[i].Edge) {
+				t.Fatalf("round trip mismatch at %d", i)
+			}
+		}
+	})
+}

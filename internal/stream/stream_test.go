@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"graphsketch/internal/graph"
+)
+
+func smallGraph() *graph.Hypergraph {
+	h := graph.MustHypergraph(6, 3)
+	h.AddSimple(0, 1)
+	h.AddSimple(1, 2, 3)
+	h.AddSimple(4, 5)
+	return h
+}
+
+func TestFromGraphAndMaterialize(t *testing.T) {
+	h := smallGraph()
+	s := FromGraph(h)
+	if len(s) != 3 {
+		t.Fatalf("stream length %d, want 3", len(s))
+	}
+	back, err := Materialize(s, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(h) {
+		t.Fatal("materialized graph differs")
+	}
+}
+
+func TestFromGraphUnrollsWeights(t *testing.T) {
+	h := graph.NewGraph(3)
+	h.MustAddEdge(graph.MustEdge(0, 1), 3)
+	s := FromGraph(h)
+	if len(s) != 3 {
+		t.Fatalf("weight 3 should unroll to 3 inserts, got %d", len(s))
+	}
+}
+
+func TestWithChurnEndsAtFinal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	final := smallGraph()
+	churn := graph.MustHypergraph(6, 3)
+	churn.AddSimple(0, 2)
+	churn.AddSimple(1, 2, 3) // overlaps final; must not be churned out
+	churn.AddSimple(3, 5)
+	s := WithChurn(final, churn, rng)
+	back, err := Materialize(s, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(final) {
+		t.Fatalf("churn stream materializes to %v, want final %v", back.Edges(), final.Edges())
+	}
+	st, err := Summarize(s, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deletes != 2 {
+		t.Fatalf("deletes = %d, want 2", st.Deletes)
+	}
+	if st.MaxActive != 5 {
+		t.Fatalf("max active = %d, want 5", st.MaxActive)
+	}
+}
+
+func TestInsertDeleteInsert(t *testing.T) {
+	final := smallGraph()
+	bait := graph.MustHypergraph(6, 3)
+	bait.AddSimple(2, 4)
+	bait.AddSimple(0, 1) // overlap stays
+	s := InsertDeleteInsert(bait, final)
+	back, err := Materialize(s, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(final) {
+		t.Fatal("adversarial stream does not end at final graph")
+	}
+	// Pattern: bait inserts first, bait deletes last.
+	if s[0].Op != Insert || s[len(s)-1].Op != Delete {
+		t.Fatal("pattern not insert-first delete-last")
+	}
+}
+
+func TestMaterializeRejectsBadDelete(t *testing.T) {
+	s := Stream{{Op: Delete, Edge: graph.MustEdge(0, 1)}}
+	if _, err := Materialize(s, 4, 2); err == nil {
+		t.Fatal("deleting an absent edge should error")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	h := smallGraph()
+	s := FromGraph(h)
+	s = append(s, Update{Op: Delete, Edge: graph.MustEdge(0, 1)})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(s))
+	}
+	for i := range s {
+		if back[i].Op != s[i].Op || !back[i].Edge.Equal(s[i].Edge) {
+			t.Fatalf("update %d differs: %v vs %v", i, back[i], s[i])
+		}
+	}
+}
+
+func TestReadTextCommentsAndErrors(t *testing.T) {
+	in := "# comment\n\n+ 0 1\n- 0 1\n"
+	s, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("parsed %d updates, want 2", len(s))
+	}
+	for _, bad := range []string{"* 0 1\n", "+ 0\n", "+ 0 x\n", "+ 0 0\n", ""} {
+		if _, err := ReadText(strings.NewReader(bad)); err == nil {
+			t.Fatalf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	s := FromGraph(smallGraph())
+	sh := Shuffled(s, rng)
+	if len(sh) != len(s) {
+		t.Fatal("shuffle changed length")
+	}
+	count := map[string]int{}
+	for _, u := range s {
+		count[u.Edge.String()]++
+	}
+	for _, u := range sh {
+		count[u.Edge.String()]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("multiset differs at %s", k)
+		}
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	edges := []graph.Hyperedge{
+		graph.MustEdge(0, 1), graph.MustEdge(1, 2), graph.MustEdge(2, 3),
+		graph.MustEdge(3, 4), graph.MustEdge(4, 5),
+	}
+	s := SlidingWindow(edges, 2)
+	back, err := Materialize(s, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the last 2 edges survive.
+	if back.EdgeCount() != 2 || !back.Has(graph.MustEdge(3, 4)) || !back.Has(graph.MustEdge(4, 5)) {
+		t.Fatalf("window graph wrong: %v", back.Edges())
+	}
+	st, err := Summarize(s, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxActive != 3 {
+		// Insert happens before the expiry delete at each step, so the
+		// peak is window+1.
+		t.Fatalf("max active %d, want 3", st.MaxActive)
+	}
+	if st.Deletes != 3 {
+		t.Fatalf("deletes = %d, want 3", st.Deletes)
+	}
+}
+
+func TestSlidingWindowDuplicates(t *testing.T) {
+	e := graph.MustEdge(0, 1)
+	s := SlidingWindow([]graph.Hyperedge{e, e, e}, 2)
+	back, err := Materialize(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Weight(e) != 2 {
+		t.Fatalf("weight = %d, want 2 (window of duplicates)", back.Weight(e))
+	}
+}
