@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fmt-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark pipeline per experiment plus the parallel ingest/decode
+# comparisons; -benchtime=1x keeps this a smoke run (drop it to measure).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: fmt-check vet build test race bench

@@ -1,0 +1,89 @@
+package graphsketch
+
+import (
+	"errors"
+
+	"graphsketch/internal/graph"
+)
+
+// ErrMergeMismatch is returned by Merge when the argument is not a sketch of
+// the same concrete type as the receiver. Finer-grained incompatibilities
+// (seed, domain, or shape differences between two sketches of the same type)
+// are reported by the per-package sentinels, e.g. sketch.ErrSeedMismatch.
+var ErrMergeMismatch = errors.New("graphsketch: cannot merge sketches of different types")
+
+// Updater consumes weighted hyperedge updates. A deletion is an update with
+// negative weight; every sketch in this repository is linear, so updates in
+// any order and grouping produce the same state.
+//
+// UpdateBatch applies a slice of updates in order. It is semantically
+// identical to calling Update once per element, but lets implementations
+// amortize hashing and dispatch, and is the unit of work the parallel
+// ingestion engine (internal/engine) shards across workers.
+type Updater interface {
+	Update(e graph.Hyperedge, delta int64) error
+	UpdateBatch(batch []graph.WeightedEdge) error
+}
+
+// Mergeable combines two sketches of the same type, seed, and shape by
+// linear addition: after s.Merge(o), s holds the sketch of the union
+// (multiset sum) of the two input streams. Merge returns ErrMergeMismatch
+// when o has a different concrete type, and a per-package sentinel
+// (sketch.ErrSeedMismatch, sketch.ErrDomainMismatch, sketch.ErrConfigMismatch)
+// when the types match but the instances were constructed incompatibly.
+type Mergeable interface {
+	Merge(o Sketch) error
+}
+
+// Sketch is the interface every linear graph sketch in this repository
+// implements: the five paper structures (sketch.SpanningSketch,
+// sketch.SkeletonSketch, edgeconn.Sketch, vertexconn.Sketch,
+// vertexconn.Estimator) plus reconstruct.Sketch and sparsify.Sketch.
+//
+//   - Update / UpdateBatch ingest the dynamic stream.
+//   - Merge adds another identically-constructed sketch (distributed
+//     aggregation).
+//   - Words reports the memory footprint in 64-bit words (the paper's space
+//     measure).
+//   - Marshal serializes the sketch contents for checkpointing; parameters
+//     and seeds are the structure's identity and are NOT serialized —
+//     restore by calling Unmarshal (where offered) on an
+//     identically-constructed instance.
+type Sketch interface {
+	Updater
+	Mergeable
+	Words() int
+	Marshal() []byte
+}
+
+// Unmarshaler restores (by linear addition) sketch contents produced by
+// Marshal on an identically-constructed sketch. Calling it on a non-empty
+// sketch adds the two states, which is itself meaningful by linearity.
+type Unmarshaler interface {
+	Unmarshal(data []byte) error
+}
+
+// Sharded is a Sketch whose state is partitioned by vertex: vertex v's share
+// (its sampler stacks) is written only by updates applied at v. This is the
+// property the parallel ingestion engine exploits — workers owning disjoint
+// vertex ranges can apply the same batch concurrently without locks.
+//
+// UpdateBatchRange applies only the [lo, hi) slice of every update's
+// per-vertex work: for each edge in the batch, exactly the endpoints v with
+// lo ≤ v < hi are updated. Applying a batch over a partition of [0, n)
+// must yield exactly the state of UpdateBatch over the whole batch,
+// regardless of which range runs first or concurrently.
+//
+// Contract for implementations: any state not owned by a single vertex
+// (e.g. a decoded-result cache) must be written only by the call whose range
+// contains vertex 0, so that a partition of [0, n) performs the write
+// exactly once and no two ranges race on it.
+type Sharded interface {
+	Sketch
+	// NumVertices returns n, the exclusive upper bound of the vertex space
+	// the sketch shards over.
+	NumVertices() int
+	// UpdateBatchRange applies the batch restricted to endpoints in
+	// [lo, hi).
+	UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error
+}

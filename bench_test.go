@@ -14,6 +14,7 @@ import (
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/sketch"
@@ -141,7 +142,7 @@ func BenchmarkE6Reconstruct(b *testing.B) {
 	h := workload.PaperExample()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := reconstruct.New(uint64(i), h.Domain(), 2, sketch.SpanningConfig{})
+		s := reconstruct.NewWithDomain(uint64(i), h.Domain(), 2, sketch.SpanningConfig{})
 		if err := s.UpdateGraph(h, 1); err != nil {
 			b.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func BenchmarkE10Ablations(b *testing.B) {
 func BenchmarkE11Extensions(b *testing.B) {
 	h := workload.MustHarary(16, 4)
 	for i := 0; i < b.N; i++ {
-		ec := edgeconn.New(uint64(i), h.Domain(), 6, sketch.SpanningConfig{})
+		ec := edgeconn.NewWithDomain(uint64(i), h.Domain(), 6, sketch.SpanningConfig{})
 		if err := ec.UpdateGraph(h, 1); err != nil {
 			b.Fatal(err)
 		}
@@ -270,4 +271,76 @@ func BenchmarkE11Extensions(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// parallelWorkload builds the E1-style ingestion workload at benchmark
+// scale: a k-connected Harary graph streamed with Erdős–Rényi churn,
+// returned as one update batch.
+func parallelWorkload(n, k int, seed uint64) []graph.WeightedEdge {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	st := stream.WithChurn(workload.MustHarary(n, k), workload.ErdosRenyi(rng, n, 0.4), rng)
+	batch := make([]graph.WeightedEdge, len(st))
+	for i, u := range st {
+		batch[i] = graph.WeightedEdge{E: u.Edge, W: int64(u.Op)}
+	}
+	return batch
+}
+
+// BenchmarkParallelIngest compares serial UpdateBatch against the sharded
+// worker pool on the E1 vertex-connectivity sketch. With GOMAXPROCS >= 4 the
+// parallel path is expected to be >= 2x the serial throughput: every edge
+// update is a pair of independent per-endpoint sampler writes, so the vertex
+// shards proceed without locks.
+func BenchmarkParallelIngest(b *testing.B) {
+	const n, k = 96, 3
+	batch := parallelWorkload(n, k, 1)
+	s, err := vertexconn.New(vertexconn.Params{N: n, K: k, Subgraphs: 48, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(batch)))
+		for i := 0; i < b.N; i++ {
+			if err := s.UpdateBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		eng := engine.New(s, engine.Options{})
+		defer eng.Close()
+		b.SetBytes(int64(len(batch)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.UpdateBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelDecode compares the serial skeleton peel against the
+// engine's fan-out decode (concurrent layer clones and forest broadcasts)
+// on a k-skeleton of the E1 workload graph.
+func BenchmarkParallelDecode(b *testing.B) {
+	const n, k = 64, 8
+	h := workload.MustHarary(n, k)
+	sk := sketch.NewSkeleton(3, h.Domain(), k, sketch.SpanningConfig{})
+	if err := sk.UpdateGraph(h, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.Skeleton(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.DecodeSkeleton(sk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -8,7 +8,6 @@ import (
 	"graphsketch/internal/core/edgeconn"
 	"graphsketch/internal/core/vertexconn"
 	"graphsketch/internal/graphalg"
-	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -47,7 +46,11 @@ func runE11(cfg Config, out *os.File) error {
 		churn := workload.ErdosRenyi(rng, in.g.N(), 0.3)
 		st := stream.WithChurn(in.g, churn, rng)
 
-		ec := edgeconn.New(cfg.Seed, in.g.Domain(), 8, sketch.SpanningConfig{})
+		ec, err := edgeconn.New(edgeconn.Params{
+			N: in.g.N(), R: in.g.Domain().R(), K: 8, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
 		if err := stream.Apply(st, ec); err != nil {
 			return err
 		}

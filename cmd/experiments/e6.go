@@ -8,7 +8,6 @@ import (
 	"graphsketch/internal/bench"
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/graphalg"
-	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -77,7 +76,11 @@ func runE6(cfg Config, out *os.File) error {
 		churn := workload.ErdosRenyi(rng, in.g.N(), 0.3)
 		st := stream.WithChurn(in.g, churn, rng)
 
-		sk := reconstruct.New(cfg.Seed, in.g.Domain(), in.d, sketch.SpanningConfig{})
+		sk, err := reconstruct.New(reconstruct.Params{
+			N: in.g.N(), R: in.g.Domain().R(), K: in.d, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
 		if err := stream.Apply(st, sk); err != nil {
 			return err
 		}

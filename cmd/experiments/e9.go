@@ -67,9 +67,17 @@ func runE9(cfg Config, out *os.File) error {
 	// Becker et al. that Section 4 generalizes).
 	pe := workload.PaperExample()
 	seed := cfg.Seed ^ 0xabc
-	refRec := reconstruct.New(seed, pe.Domain(), 2, sketch.SpanningConfig{})
+	recP := reconstruct.Params{N: pe.N(), R: pe.Domain().R(), K: 2, Seed: seed}
+	refRec, err := reconstruct.New(recP)
+	if err != nil {
+		return err
+	}
 	resRec, err := commsim.Run(pe, func() commsim.Protocol {
-		return reconstruct.New(seed, pe.Domain(), 2, sketch.SpanningConfig{})
+		p, err := reconstruct.New(recP)
+		if err != nil {
+			panic(err) // recP already validated by the referee construction
+		}
+		return p
 	}, refRec)
 	if err != nil {
 		return err

@@ -89,7 +89,7 @@ func TestCrossCheckRandomizedStreams(t *testing.T) {
 
 		// 2. Edge connectivity via skeleton, vs MA-ordering and Karger.
 		kCap := 5
-		ec := edgeconn.New(uint64(iter)+99, final.Domain(), kCap, sketch.SpanningConfig{})
+		ec := edgeconn.NewWithDomain(uint64(iter)+99, final.Domain(), kCap, sketch.SpanningConfig{})
 		if err := stream.Apply(st, ec); err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,18 @@
 // reconstruction, and hypergraph cut sparsification over streams of
 // hyperedge insertions and deletions.
 //
+// This root package declares the interfaces every sketch in the library
+// satisfies: Updater (Update / UpdateBatch), Mergeable, Sketch (adds Words
+// and Marshal), Unmarshaler, and Sharded — the contract that lets
+// internal/engine ingest updates through a lock-free vertex-sharded worker
+// pool and decode with fan-out, with results byte-identical to serial
+// execution. Constructors across the library follow one convention: a
+// Params struct whose zero fields receive sound defaults, returning
+// (*Sketch, error); incompatibilities and decode failures are reported via
+// sentinel errors (graphsketch.ErrMergeMismatch, sketch.ErrDecodeFailed,
+// sketch.ErrSeedMismatch, sketch.ErrDomainMismatch,
+// sketch.ErrConfigMismatch) for errors.Is branching.
+//
 // The implementation lives under internal/:
 //
 //   - internal/core/vertexconn — Section 3: vertex-connectivity query
@@ -14,6 +26,8 @@
 //     (Theorems 19/20)
 //   - internal/sketch — the AGM spanning-graph sketch generalized to
 //     hypergraphs (Theorem 13) and k-skeletons (Theorem 14)
+//   - internal/engine — parallel ingestion (vertex-sharded worker pool)
+//     and parallel skeleton decode
 //   - internal/l0, internal/recovery, internal/field, internal/hashutil —
 //     the sparse-recovery substrate
 //   - internal/graph, internal/graphalg — hypergraph types and offline

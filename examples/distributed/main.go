@@ -22,7 +22,6 @@ import (
 
 	"graphsketch/internal/commsim"
 	"graphsketch/internal/core/reconstruct"
-	"graphsketch/internal/sketch"
 	"graphsketch/internal/workload"
 )
 
@@ -32,12 +31,20 @@ func main() {
 		g.N(), g.EdgeCount())
 
 	const seed = 1515 // the shared public randomness
-	dom := g.Domain()
-	cfg := sketch.SpanningConfig{}
+	p := reconstruct.Params{N: g.N(), K: 2, Seed: seed}
 
-	referee := reconstruct.New(seed, dom, 2, cfg)
+	referee, err := reconstruct.New(p)
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := commsim.Run(g,
-		func() commsim.Protocol { return reconstruct.New(seed, dom, 2, cfg) },
+		func() commsim.Protocol {
+			s, err := reconstruct.New(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		},
 		referee)
 	if err != nil {
 		log.Fatal(err)

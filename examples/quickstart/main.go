@@ -2,7 +2,9 @@
 //
 // We stream a small dynamic graph — inserts and deletes — into three
 // sketches (connectivity, vertex-connectivity queries, sparsifier) and
-// decode each. Every sketch sees only the stream, never the graph.
+// decode each. Every sketch sees only the stream, never the graph, and
+// every sketch implements the one graphsketch.Sketch interface, so the
+// parallel ingestion engine drives them all the same way.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,18 +13,23 @@ import (
 	"fmt"
 	"log"
 
+	"graphsketch"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/sketch"
 )
 
 func main() {
 	const n = 10
-	dom := graph.MustDomain(n, 2)
 
-	// Three one-pass sketches over the same stream.
-	conn := sketch.NewSpanning(7, dom, sketch.SpanningConfig{})
+	// Three one-pass sketches over the same stream. Every constructor
+	// takes a Params struct; zero fields get sound defaults.
+	conn, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
 	vc, err := vertexconn.New(vertexconn.Params{N: n, K: 1, Subgraphs: 32, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
@@ -31,30 +38,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sinks := []interface {
-		Update(e graph.Hyperedge, delta int64) error
-	}{conn, vc, sp}
-
-	update := func(delta int64, vs ...int) {
-		e := graph.MustEdge(vs...)
-		for _, s := range sinks {
-			if err := s.Update(e, delta); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
 
 	// The stream: build two triangles, bridge them, then delete the
 	// scaffolding edge we regret.
-	update(+1, 0, 1)
-	update(+1, 1, 2)
-	update(+1, 0, 2)
-	update(+1, 5, 6)
-	update(+1, 6, 7)
-	update(+1, 5, 7)
-	update(+1, 2, 5) // the bridge
-	update(+1, 0, 7) // scaffolding ...
-	update(-1, 0, 7) // ... deleted: linear sketches just subtract
+	upd := func(delta int64, u, v int) graph.WeightedEdge {
+		return graph.WeightedEdge{E: graph.MustEdge(u, v), W: delta}
+	}
+	stream := []graph.WeightedEdge{
+		upd(+1, 0, 1),
+		upd(+1, 1, 2),
+		upd(+1, 0, 2),
+		upd(+1, 5, 6),
+		upd(+1, 6, 7),
+		upd(+1, 5, 7),
+		upd(+1, 2, 5), // the bridge
+		upd(+1, 0, 7), // scaffolding ...
+		upd(-1, 0, 7), // ... deleted: linear sketches just subtract
+	}
+
+	// Every sketch is graphsketch.Sharded — edge updates decompose by
+	// endpoint — so the engine ingests each batch with one lock-free
+	// worker per vertex range.
+	for _, s := range []graphsketch.Sharded{conn, vc, sp} {
+		eng := engine.New(s, engine.Options{})
+		if err := eng.UpdateBatch(stream); err != nil {
+			log.Fatal(err)
+		}
+		eng.Close()
+	}
 
 	// 1. Connectivity (vertices 3,4,8,9 are isolated, so: not connected).
 	ok, err := conn.Connected()

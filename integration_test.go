@@ -35,7 +35,7 @@ func TestFullPipelineAllSketches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ec := edgeconn.New(2, final.Domain(), 5, sketch.SpanningConfig{})
+	ec := edgeconn.NewWithDomain(2, final.Domain(), 5, sketch.SpanningConfig{})
 	sp, err := sparsify.New(sparsify.Params{N: n, K: 8, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestReconstructionAgainstGroundTruthFamilies(t *testing.T) {
 		if got := graphalg.CutDegeneracy(fam.g); got > int64(fam.d) {
 			t.Fatalf("%s: cut-degeneracy %d exceeds expected %d", fam.name, got, fam.d)
 		}
-		s := reconstruct.New(7, fam.g.Domain(), fam.d, sketch.SpanningConfig{})
+		s := reconstruct.NewWithDomain(7, fam.g.Domain(), fam.d, sketch.SpanningConfig{})
 		churn := workload.ErdosRenyi(rng, fam.g.N(), 0.3)
 		if err := stream.Apply(stream.WithChurn(fam.g, churn, rng), s); err != nil {
 			t.Fatal(err)

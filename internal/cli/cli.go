@@ -14,13 +14,14 @@ import (
 	"strconv"
 	"strings"
 
+	"graphsketch"
 	"graphsketch/internal/core/edgeconn"
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/plan"
-	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 )
 
@@ -61,6 +62,16 @@ func readAndApply(path string, stdin io.Reader, sink stream.Sink) (stream.Stream
 	st, err := stream.ReadText(in)
 	if err != nil {
 		return nil, err
+	}
+	// Sharded sketches ingest through the parallel engine; anything else
+	// falls back to the serial per-update path.
+	if sh, ok := sink.(graphsketch.Sharded); ok {
+		eng := engine.New(sh, engine.Options{})
+		defer eng.Close()
+		if err := eng.Consume(st, engine.DefaultBatchSize); err != nil {
+			return nil, err
+		}
+		return st, nil
 	}
 	if err := stream.Apply(st, sink); err != nil {
 		return nil, err
@@ -256,11 +267,10 @@ func RunReconstruct(args []string, stdin io.Reader, stdout, stderr io.Writer) er
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
-	dom, err := graph.NewDomain(*n, *r)
+	s, err := reconstruct.New(reconstruct.Params{N: *n, R: *r, K: *k, Seed: *seed})
 	if err != nil {
 		return err
 	}
-	s := reconstruct.New(*seed, dom, *k, sketch.SpanningConfig{})
 	if _, err := readAndApply(*file, stdin, s); err != nil {
 		return err
 	}
@@ -311,11 +321,10 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
-	dom, err := graph.NewDomain(*n, *r)
+	s, err := edgeconn.New(edgeconn.Params{N: *n, R: *r, K: *k, Seed: *seed})
 	if err != nil {
 		return err
 	}
-	s := edgeconn.New(*seed, dom, *k, sketch.SpanningConfig{})
 	updates, err := readAndApply(*file, stdin, s)
 	if err != nil {
 		return err

@@ -19,11 +19,13 @@ import (
 )
 
 // Protocol is a vertex-based sketch viewed as a one-round protocol: a
-// player instance consumes its incident edges and emits its vertex share; a
-// referee instance absorbs shares. All sketches in internal/sketch and
+// player instance consumes its incident edges (as one batch, matching the
+// unified graphsketch.Updater API) and emits its vertex share; a referee
+// instance absorbs shares. All sketches in internal/sketch and
 // internal/core satisfy this.
 type Protocol interface {
 	Update(e graph.Hyperedge, delta int64) error
+	UpdateBatch(batch []graph.WeightedEdge) error
 	VertexShare(v int) []byte
 	AddVertexShare(v int, data []byte) error
 }
@@ -65,10 +67,8 @@ func Run(h *graph.Hypergraph, newPlayer func() Protocol, referee Protocol) (Resu
 	}
 	for v := 0; v < n; v++ {
 		player := newPlayer()
-		for _, we := range inc[v] {
-			if err := player.Update(we.E, we.W); err != nil {
-				return res, fmt.Errorf("commsim: player %d: %w", v, err)
-			}
+		if err := player.UpdateBatch(inc[v]); err != nil {
+			return res, fmt.Errorf("commsim: player %d: %w", v, err)
 		}
 		msg := player.VertexShare(v)
 		if len(msg) > res.MaxMessageBytes {

@@ -86,8 +86,8 @@ func TestReconstructProtocolPaperExample(t *testing.T) {
 	cfg := sketch.SpanningConfig{}
 	const seed = 13
 
-	referee := reconstruct.New(seed, dom, 2, cfg)
-	res, err := Run(h, func() Protocol { return reconstruct.New(seed, dom, 2, cfg) }, referee)
+	referee := reconstruct.NewWithDomain(seed, dom, 2, cfg)
+	res, err := Run(h, func() Protocol { return reconstruct.NewWithDomain(seed, dom, 2, cfg) }, referee)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,10 @@
 package edgeconn
 
 import (
+	"fmt"
+
+	"graphsketch"
+	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/sketch"
@@ -28,9 +32,49 @@ type Sketch struct {
 	decoded  *graph.Hypergraph // cached skeleton; nil when stale
 }
 
-// New returns a sketch able to resolve edge-connectivity values in [0, k)
-// exactly and detect "≥ k". Size O(k·n·polylog n) words.
-func New(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
+// Params configures an edge-connectivity sketch.
+type Params struct {
+	// N is the vertex count; R the maximum hyperedge cardinality (2 for
+	// ordinary graphs; defaults to 2).
+	N, R int
+	// K caps all cut values: values in [0, K) are resolved exactly,
+	// larger ones report "≥ K".
+	K int
+	// Spanning configures the underlying spanning sketches.
+	Spanning sketch.SpanningConfig
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.R < 2 {
+		p.R = 2
+	}
+	if p.K < 1 {
+		return p, fmt.Errorf("edgeconn: need K >= 1, got %d", p.K)
+	}
+	return p, nil
+}
+
+// New returns a sketch able to resolve edge-connectivity values in [0, K)
+// exactly and detect "≥ K". Size O(K·n·polylog n) words.
+func New(p Params) (*Sketch, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	dom, err := graph.NewDomain(p.N, p.R)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K, p.Spanning)}, nil
+}
+
+// NewWithDomain returns a sketch over an already-validated domain.
+//
+// Deprecated: use New with Params; this shim preserves the pre-redesign
+// positional constructor.
+func NewWithDomain(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
 	if k < 1 {
 		panic("edgeconn: need k >= 1")
 	}
@@ -49,10 +93,27 @@ func (s *Sketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
 	return s.skeleton.UpdateGraph(h, scale)
 }
 
-// Skeleton decodes (and caches) the k-skeleton.
+// UpdateBatch applies a slice of weighted updates in order.
+func (s *Sketch) UpdateBatch(batch []graph.WeightedEdge) error {
+	return s.UpdateBatchRange(batch, 0, s.skeleton.NumVertices())
+}
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi);
+// see graphsketch.Sharded. The decoded-skeleton cache is invalidated by the
+// shard containing vertex 0 only, per the Sharded contract.
+func (s *Sketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	if lo == 0 {
+		s.decoded = nil
+	}
+	return s.skeleton.UpdateBatchRange(batch, lo, hi)
+}
+
+// Skeleton decodes (and caches) the k-skeleton. The k layers are peeled
+// with the parallel engine — identical output to the serial decode, using
+// all CPUs.
 func (s *Sketch) Skeleton() (*graph.Hypergraph, error) {
 	if s.decoded == nil {
-		skel, err := s.skeleton.Skeleton()
+		skel, err := engine.DecodeSkeleton(s.skeleton)
 		if err != nil {
 			return nil, err
 		}
@@ -129,3 +190,32 @@ func (s *Sketch) AddVertexShare(v int, data []byte) error {
 	s.decoded = nil
 	return s.skeleton.AddVertexShare(v, data)
 }
+
+// NumVertices returns n, the vertex space the sketch shards over.
+func (s *Sketch) NumVertices() int { return s.skeleton.NumVertices() }
+
+// Merge adds another edge-connectivity sketch with identical parameters
+// (graphsketch.Mergeable).
+func (s *Sketch) Merge(o graphsketch.Sketch) error {
+	so, ok := o.(*Sketch)
+	if !ok {
+		return graphsketch.ErrMergeMismatch
+	}
+	s.decoded = nil
+	return s.skeleton.AddScaled(so.skeleton, 1)
+}
+
+// Marshal serializes the sketch contents for checkpointing; parameters are
+// the structure's identity and are not serialized.
+func (s *Sketch) Marshal() []byte { return s.skeleton.State() }
+
+// Unmarshal merges serialized contents into the sketch (linearly).
+func (s *Sketch) Unmarshal(data []byte) error {
+	s.decoded = nil
+	return s.skeleton.AddState(data)
+}
+
+var (
+	_ graphsketch.Sharded     = (*Sketch)(nil)
+	_ graphsketch.Unmarshaler = (*Sketch)(nil)
+)

@@ -20,7 +20,7 @@ func TestEdgeConnectivityExactBelowK(t *testing.T) {
 			t.Fatal(err)
 		}
 		k := 6
-		s := New(uint64(trial), h.Domain(), k, sketch.SpanningConfig{})
+		s := NewWithDomain(uint64(trial), h.Domain(), k, sketch.SpanningConfig{})
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +52,7 @@ func TestIsKEdgeConnectedHarary(t *testing.T) {
 	// H_{k,n} is exactly k-edge-connected as well as k-vertex-connected.
 	h := workload.MustHarary(16, 4)
 	for _, k := range []int{3, 4} {
-		s := New(uint64(k), h.Domain(), k, sketch.SpanningConfig{})
+		s := NewWithDomain(uint64(k), h.Domain(), k, sketch.SpanningConfig{})
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func TestIsKEdgeConnectedHarary(t *testing.T) {
 			t.Fatalf("H_{4,16} should be %d-edge-connected", k)
 		}
 	}
-	s := New(9, h.Domain(), 5, sketch.SpanningConfig{})
+	s := NewWithDomain(9, h.Domain(), 5, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestEdgeVsVertexConnectivityGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(3, h.Domain(), 8, sketch.SpanningConfig{})
+	s := NewWithDomain(3, h.Domain(), 8, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestEdgeConnectivityWithChurn(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	final := workload.Cycle(12) // λ = 2
 	churn := workload.ErdosRenyi(rng, 12, 0.5)
-	s := New(5, final.Domain(), 4, sketch.SpanningConfig{})
+	s := NewWithDomain(5, final.Domain(), 4, sketch.SpanningConfig{})
 	if err := stream.Apply(stream.WithChurn(final, churn, rng), s); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestHypergraphEdgeConnectivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(7, h.Domain(), 5, sketch.SpanningConfig{})
+	s := NewWithDomain(7, h.Domain(), 5, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestSTCut(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		h.AddSimple(i, i+1)
 	}
-	s := New(11, h.Domain(), 3, sketch.SpanningConfig{})
+	s := NewWithDomain(11, h.Domain(), 3, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestSTCut(t *testing.T) {
 
 func TestConnectedAndCache(t *testing.T) {
 	h := workload.Cycle(8)
-	s := New(13, h.Domain(), 2, sketch.SpanningConfig{})
+	s := NewWithDomain(13, h.Domain(), 2, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -184,9 +184,9 @@ func TestConnectedAndCache(t *testing.T) {
 func TestVertexShareRoundTrip(t *testing.T) {
 	h := workload.Cycle(10)
 	const seed = 21
-	ref := New(seed, h.Domain(), 2, sketch.SpanningConfig{})
+	ref := NewWithDomain(seed, h.Domain(), 2, sketch.SpanningConfig{})
 	for v := 0; v < h.N(); v++ {
-		p := New(seed, h.Domain(), 2, sketch.SpanningConfig{})
+		p := NewWithDomain(seed, h.Domain(), 2, sketch.SpanningConfig{})
 		for _, e := range h.Edges() {
 			if e.Contains(v) {
 				if err := p.Update(e, 1); err != nil {

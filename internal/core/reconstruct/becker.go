@@ -63,6 +63,16 @@ func (b *BeckerSketch) Update(e graph.Hyperedge, delta int64) error {
 	return nil
 }
 
+// UpdateBatch applies a slice of weighted updates in order.
+func (b *BeckerSketch) UpdateBatch(batch []graph.WeightedEdge) error {
+	for _, we := range batch {
+		if err := b.Update(we.E, we.W); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // UpdateGraph applies every edge of h scaled by scale.
 func (b *BeckerSketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
 	for _, we := range h.WeightedEdges() {

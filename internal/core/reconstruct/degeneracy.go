@@ -31,7 +31,7 @@ func NewDegeneracySketch(seed uint64, dom graph.Domain, dmax int, cfg sketch.Spa
 	}
 	s := &DegeneracySketch{dmax: dmax}
 	for d := 1; ; d *= 2 {
-		s.scales = append(s.scales, New(seed^uint64(d)*0x9e3779b9, dom, d, cfg))
+		s.scales = append(s.scales, NewWithDomain(seed^uint64(d)*0x9e3779b9, dom, d, cfg))
 		if d >= dmax {
 			break
 		}

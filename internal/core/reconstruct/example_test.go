@@ -12,7 +12,7 @@ import (
 // 2-cut-degenerate but NOT 2-degenerate — from a d = 2 sketch.
 func Example() {
 	g := workload.PaperExample()
-	s := reconstruct.New(9, g.Domain(), 2, sketch.SpanningConfig{})
+	s := reconstruct.NewWithDomain(9, g.Domain(), 2, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(g, 1); err != nil {
 		panic(err)
 	}

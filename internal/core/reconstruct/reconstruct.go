@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 
+	"graphsketch"
+	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/sketch"
@@ -34,9 +36,49 @@ type Sketch struct {
 	skeleton *sketch.SkeletonSketch
 }
 
-// New returns a light_k reconstruction sketch: a (k+1)-skeleton sketch
-// stack of size O(k·n·polylog n) words.
-func New(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
+// Params configures a light_k reconstruction sketch.
+type Params struct {
+	// N is the vertex count; R the maximum hyperedge cardinality (2 for
+	// ordinary graphs; defaults to 2).
+	N, R int
+	// K is the cut-degeneracy parameter: the sketch recovers light_K(G),
+	// and reconstructs G exactly when G is K-cut-degenerate.
+	K int
+	// Spanning configures the underlying spanning sketches.
+	Spanning sketch.SpanningConfig
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.R < 2 {
+		p.R = 2
+	}
+	if p.K < 1 {
+		return p, fmt.Errorf("reconstruct: need K >= 1, got %d", p.K)
+	}
+	return p, nil
+}
+
+// New returns a light_K reconstruction sketch: a (K+1)-skeleton sketch
+// stack of size O(K·n·polylog n) words.
+func New(p Params) (*Sketch, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	dom, err := graph.NewDomain(p.N, p.R)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K+1, p.Spanning)}, nil
+}
+
+// NewWithDomain returns a sketch over an already-validated domain.
+//
+// Deprecated: use New with Params; this shim preserves the pre-redesign
+// positional constructor.
+func NewWithDomain(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
 	if k < 1 {
 		panic("reconstruct: need k >= 1")
 	}
@@ -52,6 +94,53 @@ func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
 func (s *Sketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
 	return s.skeleton.UpdateGraph(h, scale)
 }
+
+// UpdateBatch applies a slice of weighted updates in order.
+func (s *Sketch) UpdateBatch(batch []graph.WeightedEdge) error {
+	return s.skeleton.UpdateBatch(batch)
+}
+
+// UpdateEdgeRange applies the update restricted to endpoints in [lo, hi);
+// see sketch.SpanningSketch.UpdateEdgeRange for the sharding contract.
+func (s *Sketch) UpdateEdgeRange(e graph.Hyperedge, delta int64, lo, hi int) error {
+	return s.skeleton.UpdateEdgeRange(e, delta, lo, hi)
+}
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi);
+// see graphsketch.Sharded.
+func (s *Sketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	return s.skeleton.UpdateBatchRange(batch, lo, hi)
+}
+
+// NumVertices returns n, the vertex space the sketch shards over.
+func (s *Sketch) NumVertices() int { return s.skeleton.NumVertices() }
+
+// AddScaled adds scale copies of o into s (same seed/domain/k).
+func (s *Sketch) AddScaled(o *Sketch, scale int64) error {
+	return s.skeleton.AddScaled(o.skeleton, scale)
+}
+
+// Merge adds another reconstruction sketch with identical parameters
+// (graphsketch.Mergeable).
+func (s *Sketch) Merge(o graphsketch.Sketch) error {
+	so, ok := o.(*Sketch)
+	if !ok {
+		return graphsketch.ErrMergeMismatch
+	}
+	return s.AddScaled(so, 1)
+}
+
+// Marshal serializes the sketch contents for checkpointing; parameters are
+// the structure's identity and are not serialized.
+func (s *Sketch) Marshal() []byte { return s.skeleton.State() }
+
+// Unmarshal merges serialized contents into the sketch (linearly).
+func (s *Sketch) Unmarshal(data []byte) error { return s.skeleton.AddState(data) }
+
+var (
+	_ graphsketch.Sharded     = (*Sketch)(nil)
+	_ graphsketch.Unmarshaler = (*Sketch)(nil)
+)
 
 // LightEdges recovers light_k(G) from the sketch. Each round decodes a
 // (k+1)-skeleton of G minus everything recovered so far, extracts its weak
@@ -76,7 +165,7 @@ func (s *Sketch) LightEdgesMinus(sub *graph.Hypergraph) (*graph.Hypergraph, erro
 		}
 	}
 	for round := 0; round < dom.N(); round++ {
-		skel, err := work.Skeleton()
+		skel, err := engine.DecodeSkeleton(work)
 		if err != nil {
 			return nil, fmt.Errorf("reconstruct: round %d: %w", round, err)
 		}
@@ -111,7 +200,7 @@ func (s *Sketch) Reconstruct() (*graph.Hypergraph, error) {
 	if err := work.UpdateGraph(light, -1); err != nil {
 		return nil, err
 	}
-	rest, err := work.Skeleton()
+	rest, err := engine.DecodeSkeleton(work)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +220,7 @@ func (s *Sketch) SkeletonMinus(sub *graph.Hypergraph) (*graph.Hypergraph, error)
 			return nil, err
 		}
 	}
-	return work.Skeleton()
+	return engine.DecodeSkeleton(work)
 }
 
 // K returns the degeneracy parameter.

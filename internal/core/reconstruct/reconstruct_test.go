@@ -20,7 +20,7 @@ func TestLightEdgesMatchesOffline(t *testing.T) {
 	}
 	h.AddSimple(2, 3)
 	for _, k := range []int{1, 2} {
-		s := New(uint64(k), h.Domain(), k, sketch.SpanningConfig{})
+		s := NewWithDomain(uint64(k), h.Domain(), k, sketch.SpanningConfig{})
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +40,7 @@ func TestLightEdgesRandomGraphs(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		h := workload.ErdosRenyi(rng, 12, 0.35)
 		k := 1 + trial%2
-		s := New(uint64(10+trial), h.Domain(), k, sketch.SpanningConfig{})
+		s := NewWithDomain(uint64(10+trial), h.Domain(), k, sketch.SpanningConfig{})
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func TestReconstructPaperExample(t *testing.T) {
 	// baseline at d = 2 must fail.
 	h := workload.PaperExample()
 
-	s := New(42, h.Domain(), 2, sketch.SpanningConfig{})
+	s := NewWithDomain(42, h.Domain(), 2, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestReconstructPaperExample(t *testing.T) {
 func TestReconstructCliqueTree(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 4))
 	h := workload.CliqueTree(rng, 4, 4) // 3-cut-degenerate
-	s := New(7, h.Domain(), 3, sketch.SpanningConfig{})
+	s := NewWithDomain(7, h.Domain(), 3, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestReconstructDetectsIncomplete(t *testing.T) {
 	// K6 is 5-cut-degenerate; a k=2 reconstructor must report incomplete,
 	// not fabricate.
 	h := workload.Complete(6)
-	s := New(9, h.Domain(), 2, sketch.SpanningConfig{})
+	s := NewWithDomain(9, h.Domain(), 2, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestReconstructWithDeletions(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 6))
 	final := workload.CliqueTree(rng, 3, 3) // 2-cut-degenerate
 	churn := workload.ErdosRenyi(rng, final.N(), 0.4)
-	s := New(11, final.Domain(), 2, sketch.SpanningConfig{})
+	s := NewWithDomain(11, final.Domain(), 2, sketch.SpanningConfig{})
 	if err := stream.Apply(stream.WithChurn(final, churn, rng), s); err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestReconstructHypergraph(t *testing.T) {
 	h.AddSimple(2, 3, 4)
 	h.AddSimple(4, 5, 6)
 	h.AddSimple(6, 7, 8)
-	s := New(13, h.Domain(), 1, sketch.SpanningConfig{})
+	s := NewWithDomain(13, h.Domain(), 1, sketch.SpanningConfig{})
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestSpaceComparisonBeckerVsSkeleton(t *testing.T) {
 	// Both are O(d·n·polylog); the point of E6 is capability, not size,
 	// but the accounting must at least be present and consistent.
 	h := workload.PaperExample()
-	s := New(1, h.Domain(), 2, sketch.SpanningConfig{})
+	s := NewWithDomain(1, h.Domain(), 2, sketch.SpanningConfig{})
 	b := NewBecker(1, h.N(), 2, 2)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)

@@ -17,14 +17,17 @@
 package sparsify
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"math/bits"
 
+	"graphsketch"
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashutil"
+	"graphsketch/internal/recovery"
 	"graphsketch/internal/sketch"
 )
 
@@ -96,7 +99,12 @@ func New(p Params) (*Sketch, error) {
 	}
 	s.levels = make([]*reconstruct.Sketch, p.Levels+1)
 	for i := range s.levels {
-		s.levels[i] = reconstruct.New(ss.At(uint64(1+i)), dom, p.K, p.Spanning)
+		s.levels[i], err = reconstruct.New(reconstruct.Params{
+			N: p.N, R: p.R, K: p.K, Spanning: p.Spanning, Seed: ss.At(uint64(1 + i)),
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -184,6 +192,93 @@ func (s *Sketch) Sparsifier() (*graph.Hypergraph, error) {
 	}
 	return out, nil
 }
+
+// UpdateBatch applies a slice of weighted updates in order.
+func (s *Sketch) UpdateBatch(batch []graph.WeightedEdge) error {
+	return s.UpdateBatchRange(batch, 0, s.p.N)
+}
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi);
+// see graphsketch.Sharded. The public edge-level hash is a read-only
+// function of the seed, so concurrent shards recompute the routing
+// independently and consistently.
+func (s *Sketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	for _, we := range batch {
+		top, err := s.EdgeLevel(we.E)
+		if err != nil {
+			return err
+		}
+		for i := 0; i <= top; i++ {
+			if err := s.levels[i].UpdateEdgeRange(we.E, we.W, lo, hi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NumVertices returns n, the vertex space the sketch shards over.
+func (s *Sketch) NumVertices() int { return s.p.N }
+
+// Merge adds another sparsifier sketch with identical Params
+// (graphsketch.Mergeable).
+func (s *Sketch) Merge(o graphsketch.Sketch) error {
+	so, ok := o.(*Sketch)
+	if !ok {
+		return graphsketch.ErrMergeMismatch
+	}
+	if s.p != so.p {
+		return sketch.ErrConfigMismatch
+	}
+	for i := range s.levels {
+		if err := s.levels[i].AddScaled(so.levels[i], 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marshal serializes every level's contents, each length-prefixed so
+// Unmarshal can split them back (graphsketch.Sketch). Parameters are the
+// structure's identity and are not serialized.
+func (s *Sketch) Marshal() []byte {
+	var b []byte
+	for _, l := range s.levels {
+		state := l.Marshal()
+		b = binary.BigEndian.AppendUint64(b, uint64(len(state)))
+		b = append(b, state...)
+	}
+	return b
+}
+
+// Unmarshal merges serialized contents into the sketch (linearly); the
+// data must come from an identically-parameterized sketch.
+func (s *Sketch) Unmarshal(data []byte) error {
+	b := data
+	for _, l := range s.levels {
+		if len(b) < 8 {
+			return recovery.ErrShortBuffer
+		}
+		n := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		if uint64(len(b)) < n {
+			return recovery.ErrShortBuffer
+		}
+		if err := l.Unmarshal(b[:n]); err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return sketch.ErrShare
+	}
+	return nil
+}
+
+var (
+	_ graphsketch.Sharded     = (*Sketch)(nil)
+	_ graphsketch.Unmarshaler = (*Sketch)(nil)
+)
 
 // Params returns the (defaulted) parameters.
 func (s *Sketch) Params() Params { return s.p }

@@ -1,9 +1,13 @@
 package vertexconn
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"graphsketch"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/recovery"
+	"graphsketch/internal/sketch"
 )
 
 // Estimator removes Theorem 8's "k is an upper bound on the vertex
@@ -96,6 +100,85 @@ func (e *Estimator) Estimate() (int64, error) {
 	}
 	return best, nil
 }
+
+// UpdateBatch applies a slice of weighted updates in order to every scale.
+func (e *Estimator) UpdateBatch(batch []graph.WeightedEdge) error {
+	return e.UpdateBatchRange(batch, 0, e.NumVertices())
+}
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi) at
+// every scale; see graphsketch.Sharded.
+func (e *Estimator) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	for _, s := range e.scales {
+		if err := s.UpdateBatchRange(batch, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumVertices returns n, the vertex space the estimator shards over.
+func (e *Estimator) NumVertices() int { return e.scales[0].Params().N }
+
+// Merge adds another estimator with identical parameters
+// (graphsketch.Mergeable).
+func (e *Estimator) Merge(o graphsketch.Sketch) error {
+	oe, ok := o.(*Estimator)
+	if !ok {
+		return graphsketch.ErrMergeMismatch
+	}
+	if len(e.scales) != len(oe.scales) || e.kmax != oe.kmax {
+		return sketch.ErrConfigMismatch
+	}
+	for i := range e.scales {
+		if err := e.scales[i].Merge(oe.scales[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marshal serializes every scale's contents, each length-prefixed so
+// Unmarshal can split them back (graphsketch.Sketch). Parameters are the
+// structure's identity and are not serialized.
+func (e *Estimator) Marshal() []byte {
+	var b []byte
+	for _, s := range e.scales {
+		state := s.Marshal()
+		b = binary.BigEndian.AppendUint64(b, uint64(len(state)))
+		b = append(b, state...)
+	}
+	return b
+}
+
+// Unmarshal merges serialized contents into the estimator (linearly); the
+// data must come from an identically-parameterized estimator.
+func (e *Estimator) Unmarshal(data []byte) error {
+	b := data
+	for _, s := range e.scales {
+		if len(b) < 8 {
+			return recovery.ErrShortBuffer
+		}
+		n := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		if uint64(len(b)) < n {
+			return recovery.ErrShortBuffer
+		}
+		if err := s.Unmarshal(b[:n]); err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return sketch.ErrShare
+	}
+	return nil
+}
+
+var (
+	_ graphsketch.Sharded     = (*Estimator)(nil)
+	_ graphsketch.Unmarshaler = (*Estimator)(nil)
+)
 
 // Scales returns the number of maintained scales.
 func (e *Estimator) Scales() int { return len(e.scales) }

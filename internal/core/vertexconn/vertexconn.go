@@ -29,9 +29,9 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
+	"graphsketch"
+	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/hashutil"
@@ -144,10 +144,21 @@ func (s *Sketch) InSubgraph(i, v int) bool {
 // endpoints; the routing is deterministic, so a later deletion hits the
 // same sketches as the insertion.
 func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
+	return s.UpdateEdgeRange(e, delta, 0, s.p.N)
+}
+
+// UpdateEdgeRange applies the update restricted to endpoints in [lo, hi).
+// The membership routing is a read-only function of the public randomness,
+// so concurrent shards recompute it independently; per the
+// graphsketch.Sharded contract, the decoded-H cache is invalidated only by
+// the shard containing vertex 0.
+func (s *Sketch) UpdateEdgeRange(e graph.Hyperedge, delta int64, lo, hi int) error {
 	if _, err := s.dom.Encode(e); err != nil {
 		return err
 	}
-	s.decoded = nil
+	if lo == 0 {
+		s.decoded = nil
+	}
 	words := len(s.member[0])
 	// Intersect the endpoint membership bitsets.
 	var buf [64]uint64
@@ -162,10 +173,26 @@ func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
 	for w, m := range mask {
 		for m != 0 {
 			i := w*64 + bits.TrailingZeros64(m)
-			if err := s.sketches[i].Update(e, delta); err != nil {
+			if err := s.sketches[i].UpdateEdgeRange(e, delta, lo, hi); err != nil {
 				return err
 			}
 			m &= m - 1
+		}
+	}
+	return nil
+}
+
+// UpdateBatch applies a slice of weighted updates in order.
+func (s *Sketch) UpdateBatch(batch []graph.WeightedEdge) error {
+	return s.UpdateBatchRange(batch, 0, s.p.N)
+}
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi);
+// see graphsketch.Sharded.
+func (s *Sketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	for _, we := range batch {
+		if err := s.UpdateEdgeRange(we.E, we.W, lo, hi); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -185,26 +212,13 @@ func (s *Sketch) BuildH() (*graph.Hypergraph, int, error) {
 	}
 	forests := make([]*graph.Hypergraph, len(s.sketches))
 	errs := make([]error, len(s.sketches))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(s.sketches) {
-		workers = len(s.sketches)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(s.sketches) {
-					return
-				}
-				forests[i], errs[i] = s.sketches[i].SpanningGraph()
-			}
-		}()
-	}
-	wg.Wait()
+	// Each forest decode reads only its own sketch; fan out across CPUs
+	// and record per-index results (failures are tolerated below, so fn
+	// itself never errors).
+	_ = engine.ForEach(runtime.GOMAXPROCS(0), len(s.sketches), func(i int) error {
+		forests[i], errs[i] = s.sketches[i].SpanningGraph()
+		return nil
+	})
 
 	h := graph.MustHypergraph(s.p.N, s.p.R)
 	failures := 0
@@ -366,6 +380,41 @@ func (s *Sketch) AddState(data []byte) error {
 	}
 	return nil
 }
+
+// NumVertices returns n, the vertex space the sketch shards over.
+func (s *Sketch) NumVertices() int { return s.p.N }
+
+// Merge adds another vertex-connectivity sketch with identical Params
+// (graphsketch.Mergeable).
+func (s *Sketch) Merge(o graphsketch.Sketch) error {
+	so, ok := o.(*Sketch)
+	if !ok {
+		return graphsketch.ErrMergeMismatch
+	}
+	if s.p != so.p {
+		return sketch.ErrConfigMismatch
+	}
+	s.decoded = nil
+	for i := range s.sketches {
+		if err := s.sketches[i].AddScaled(so.sketches[i], 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the sketch contents (graphsketch.Sketch); identical to
+// State.
+func (s *Sketch) Marshal() []byte { return s.State() }
+
+// Unmarshal merges serialized contents into the sketch; identical to
+// AddState.
+func (s *Sketch) Unmarshal(data []byte) error { return s.AddState(data) }
+
+var (
+	_ graphsketch.Sharded     = (*Sketch)(nil)
+	_ graphsketch.Unmarshaler = (*Sketch)(nil)
+)
 
 // EstimateConnectivityDrop post-processes H with the exact drop-semantics
 // vertex-connectivity oracle and returns κ_drop(H) capped at limit. Drop

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/sketch"
+)
+
+// DecodeSkeleton decodes a k-skeleton from sk with the peeling work spread
+// over all CPUs, producing exactly the result of sk.Skeleton(): F_i still
+// spans G − F_1 − … − F_{i−1}, but the k layer clones are built
+// concurrently, and after each forest F_i is decoded it is subtracted from
+// all later layers in parallel. The layer decodes themselves remain the
+// (inherently sequential) critical path; everything around them overlaps.
+func DecodeSkeleton(sk *sketch.SkeletonSketch) (*graph.Hypergraph, error) {
+	return DecodeSkeletonWorkers(sk, runtime.GOMAXPROCS(0))
+}
+
+// DecodeSkeletonWorkers is DecodeSkeleton with an explicit worker count
+// (<= 0 means GOMAXPROCS).
+func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hypergraph, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		// No parallelism available: the serial peel clones one layer at a
+		// time and keeps a single working set, which is strictly cheaper.
+		return sk.Skeleton()
+	}
+	layers := sk.Layers()
+	work := make([]*sketch.SpanningSketch, len(layers))
+	_ = ForEach(workers, len(layers), func(i int) error {
+		work[i] = layers[i].Clone()
+		return nil
+	})
+
+	dom := sk.Domain()
+	skeleton := graph.MustHypergraph(dom.N(), dom.R())
+	for i := range work {
+		f, err := work[i].SpanningGraph()
+		if err != nil {
+			return nil, fmt.Errorf("sketch: skeleton layer %d: %w", i, err)
+		}
+		// Subtract F_i from every later layer so each decodes the graph
+		// minus all earlier forests; the subtractions touch disjoint
+		// sketches and run concurrently.
+		if err := ForEach(workers, len(work)-i-1, func(j int) error {
+			return work[i+1+j].UpdateGraph(f, -1)
+		}); err != nil {
+			return nil, err
+		}
+		for _, e := range f.Edges() {
+			// Forests are edge-disjoint by construction (each layer spans
+			// the graph minus all earlier forests).
+			skeleton.MustAddEdge(e, 1)
+		}
+	}
+	return skeleton, nil
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"graphsketch"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+// DefaultBatchSize is the number of stream updates Consume groups into one
+// parallel dispatch when the caller passes batchSize <= 0. Large enough to
+// amortize the fan-out/fan-in handshake, small enough to keep batches in
+// cache.
+const DefaultBatchSize = 1024
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of ingestion workers (vertex shards). 0 means
+	// GOMAXPROCS; the count is capped at the sketch's vertex count.
+	Workers int
+}
+
+// Engine feeds a Sharded sketch from a pool of persistent workers, each
+// owning a disjoint contiguous vertex range. UpdateBatch blocks until the
+// batch is fully applied, so the engine is a drop-in stream.Sink: calls
+// never overlap, and decoding between calls is safe.
+//
+// The engine must be released with Close once ingestion is done; Close is
+// idempotent.
+type Engine struct {
+	target graphsketch.Sharded
+	bounds []int // len(workers)+1 shard boundaries over [0, n)
+	jobs   []chan job
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type job struct {
+	batch []graph.WeightedEdge
+	errs  []error // one slot per worker
+	idx   int
+	done  *sync.WaitGroup
+}
+
+// New returns an engine over target with opt.Workers vertex shards. The
+// shard boundaries are fixed for the engine's lifetime: worker w owns
+// vertices [bounds[w], bounds[w+1]).
+func New(target graphsketch.Sharded, opt Options) *Engine {
+	n := target.NumVertices()
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	e := &Engine{target: target, jobs: make([]chan job, w)}
+	e.bounds = make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		e.bounds[i] = i * n / w
+	}
+	for i := range e.jobs {
+		e.jobs[i] = make(chan job)
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+	return e
+}
+
+func (e *Engine) worker(i int) {
+	defer e.wg.Done()
+	lo, hi := e.bounds[i], e.bounds[i+1]
+	for j := range e.jobs[i] {
+		j.errs[j.idx] = e.target.UpdateBatchRange(j.batch, lo, hi)
+		j.done.Done()
+	}
+}
+
+// Workers returns the number of ingestion workers (vertex shards).
+func (e *Engine) Workers() int { return len(e.jobs) }
+
+// UpdateBatch applies the batch through the worker pool and blocks until
+// every shard has finished. On error the sketch state is unspecified (each
+// shard stops at its first failing edge); the first error by shard index is
+// returned.
+func (e *Engine) UpdateBatch(batch []graph.WeightedEdge) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	errs := make([]error, len(e.jobs))
+	var done sync.WaitGroup
+	done.Add(len(e.jobs))
+	for i := range e.jobs {
+		e.jobs[i] <- job{batch: batch, errs: errs, idx: i, done: &done}
+	}
+	done.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Update applies a single weighted update through the pool, so the
+// single-writer-per-vertex invariant holds even when Update and UpdateBatch
+// calls are mixed. For high-rate streams prefer UpdateBatch or Consume.
+func (e *Engine) Update(ed graph.Hyperedge, delta int64) error {
+	return e.UpdateBatch([]graph.WeightedEdge{{E: ed, W: delta}})
+}
+
+// Consume feeds an entire stream through the pool in batches of batchSize
+// (<= 0 means DefaultBatchSize).
+func (e *Engine) Consume(st stream.Stream, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	buf := make([]graph.WeightedEdge, 0, batchSize)
+	for _, u := range st {
+		buf = append(buf, graph.WeightedEdge{E: u.Edge, W: int64(u.Op)})
+		if len(buf) == batchSize {
+			if err := e.UpdateBatch(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	return e.UpdateBatch(buf)
+}
+
+// Close shuts the worker pool down and waits for the workers to exit.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for i := range e.jobs {
+		close(e.jobs[i])
+	}
+	e.wg.Wait()
+}
+
+var _ stream.Sink = (*Engine)(nil)
+var _ graphsketch.Updater = (*Engine)(nil)

@@ -106,8 +106,23 @@ func (s *Sampler) level(lv int) *recovery.SSparse {
 // Update applies f[i] += delta. One ladder evaluation of z^i serves every
 // touched level (they share the fingerprint point).
 func (s *Sampler) Update(i uint64, delta int64) {
-	top := s.lh.Level(i)
-	zPow := s.ladder.Pow(i)
+	top, zPow := s.Hash(i)
+	s.UpdateHashed(i, delta, top, zPow)
+}
+
+// Hash returns the subsampling level and fingerprint power of index i —
+// the two hash evaluations Update performs before touching any state. Both
+// depend only on the sampler's seed, so a caller updating many same-seed
+// samplers with the same index (e.g. one spanning-sketch round across an
+// edge's endpoints) can evaluate them once and fan the result out with
+// UpdateHashed.
+func (s *Sampler) Hash(i uint64) (top int, zPow field.Elem) {
+	return s.lh.Level(i), s.ladder.Pow(i)
+}
+
+// UpdateHashed applies f[i] += delta given a precomputed (top, zPow) pair
+// obtained from Hash on a sampler with the same seed and config.
+func (s *Sampler) UpdateHashed(i uint64, delta int64, top int, zPow field.Elem) {
 	for lv := 0; lv <= top; lv++ {
 		s.level(lv).UpdatePow(i, delta, zPow)
 	}

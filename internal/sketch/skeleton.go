@@ -3,6 +3,7 @@ package sketch
 import (
 	"fmt"
 
+	"graphsketch"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashutil"
 )
@@ -24,7 +25,49 @@ type SkeletonSketch struct {
 	layers []*SpanningSketch
 }
 
+// SkeletonParams configures a k-skeleton sketch, following the
+// repository-wide Params-struct constructor convention.
+type SkeletonParams struct {
+	// N is the vertex count; R the maximum hyperedge cardinality
+	// (defaults to 2).
+	N, R int
+	// K is the skeleton's connectivity parameter (number of independent
+	// spanning-sketch layers); must be at least 1.
+	K int
+	// Spanning configures the per-layer spanning sketches.
+	Spanning SpanningConfig
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (p SkeletonParams) withDefaults() (SkeletonParams, error) {
+	if p.R < 2 {
+		p.R = 2
+	}
+	if p.K < 1 {
+		return p, fmt.Errorf("sketch: skeleton needs K >= 1, got %d", p.K)
+	}
+	return p, nil
+}
+
+// NewSkeletonSketch returns an empty k-skeleton sketch for hypergraphs on
+// p.N vertices with cardinality at most p.R.
+func NewSkeletonSketch(p SkeletonParams) (*SkeletonSketch, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	dom, err := graph.NewDomain(p.N, p.R)
+	if err != nil {
+		return nil, err
+	}
+	return NewSkeleton(p.Seed, dom, p.K, p.Spanning), nil
+}
+
 // NewSkeleton returns an empty k-skeleton sketch. k must be at least 1.
+//
+// Deprecated: prefer NewSkeletonSketch with SkeletonParams; this positional
+// variant is kept for callers that already hold a validated Domain.
 func NewSkeleton(seed uint64, dom graph.Domain, k int, cfg SpanningConfig) *SkeletonSketch {
 	if k < 1 {
 		panic("sketch: skeleton needs k >= 1")
@@ -47,6 +90,33 @@ func (s *SkeletonSketch) Update(e graph.Hyperedge, delta int64) error {
 	return nil
 }
 
+// UpdateEdgeRange applies the update to every layer, restricted to
+// endpoints in [lo, hi); see SpanningSketch.UpdateEdgeRange for the
+// sharding contract.
+func (s *SkeletonSketch) UpdateEdgeRange(e graph.Hyperedge, delta int64, lo, hi int) error {
+	for _, l := range s.layers {
+		if err := l.UpdateEdgeRange(e, delta, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateBatch applies a slice of weighted updates in order to every layer.
+func (s *SkeletonSketch) UpdateBatch(batch []graph.WeightedEdge) error {
+	return s.UpdateBatchRange(batch, 0, s.dom.N())
+}
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi).
+func (s *SkeletonSketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	for _, we := range batch {
+		if err := s.UpdateEdgeRange(we.E, we.W, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // UpdateGraph applies every weighted edge of h, scaled by scale, to every
 // layer. With scale = −1 this subtracts a known subgraph — the operation
 // that lets light_k reconstruction re-use one skeleton sketch across its
@@ -62,8 +132,13 @@ func (s *SkeletonSketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
 
 // AddScaled adds scale copies of o into s.
 func (s *SkeletonSketch) AddScaled(o *SkeletonSketch, scale int64) error {
-	if s.seed != o.seed || s.dom != o.dom || s.k != o.k {
-		return fmt.Errorf("sketch: incompatible skeleton sketches")
+	switch {
+	case s.seed != o.seed:
+		return ErrSeedMismatch
+	case s.dom != o.dom:
+		return ErrDomainMismatch
+	case s.k != o.k:
+		return ErrConfigMismatch
 	}
 	for i := range s.layers {
 		if err := s.layers[i].AddScaled(o.layers[i], scale); err != nil {
@@ -111,6 +186,38 @@ func (s *SkeletonSketch) Skeleton() (*graph.Hypergraph, error) {
 
 // K returns the skeleton's connectivity parameter.
 func (s *SkeletonSketch) K() int { return s.k }
+
+// Layers returns the k independent per-layer spanning sketches, in peeling
+// order. The slice is the sketch's own backing store — callers must treat
+// it as read-only (the parallel decode engine clones each layer before
+// subtracting forests).
+func (s *SkeletonSketch) Layers() []*SpanningSketch { return s.layers }
+
+// NumVertices returns n, the vertex space the sketch shards over.
+func (s *SkeletonSketch) NumVertices() int { return s.dom.N() }
+
+// Merge adds another skeleton sketch with identical seed, domain, and k
+// (graphsketch.Mergeable).
+func (s *SkeletonSketch) Merge(o graphsketch.Sketch) error {
+	so, ok := o.(*SkeletonSketch)
+	if !ok {
+		return graphsketch.ErrMergeMismatch
+	}
+	return s.AddScaled(so, 1)
+}
+
+// Marshal serializes the sketch contents (graphsketch.Sketch); identical to
+// State.
+func (s *SkeletonSketch) Marshal() []byte { return s.State() }
+
+// Unmarshal merges serialized contents into the sketch; identical to
+// AddState.
+func (s *SkeletonSketch) Unmarshal(data []byte) error { return s.AddState(data) }
+
+var (
+	_ graphsketch.Sharded     = (*SkeletonSketch)(nil)
+	_ graphsketch.Unmarshaler = (*SkeletonSketch)(nil)
+)
 
 // Domain returns the hyperedge key domain.
 func (s *SkeletonSketch) Domain() graph.Domain { return s.dom }

@@ -17,20 +17,15 @@
 package sketch
 
 import (
-	"errors"
-	"fmt"
 	"math/bits"
 
+	"graphsketch"
+	"graphsketch/internal/field"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/hashutil"
 	"graphsketch/internal/l0"
 )
-
-// ErrDecodeFailed is returned when a sketch cannot be decoded — the
-// repetition budget was exhausted without certifying a result. Failures are
-// always detected (the underlying recoveries are certified), never silent.
-var ErrDecodeFailed = errors.New("sketch: decode failed (increase Rounds or sampler size)")
 
 // SpanningConfig controls a spanning-graph sketch.
 type SpanningConfig struct {
@@ -63,9 +58,44 @@ type SpanningSketch struct {
 	samplers [][]*l0.Sampler
 }
 
+// SpanningParams configures a spanning-graph sketch, following the
+// repository-wide Params-struct constructor convention.
+type SpanningParams struct {
+	// N is the vertex count; R the maximum hyperedge cardinality (2 for
+	// ordinary graphs; defaults to 2).
+	N, R int
+	// Rounds and Sampler configure the sketch as in SpanningConfig.
+	Rounds  int
+	Sampler l0.Config
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+func (p SpanningParams) withDefaults() SpanningParams {
+	if p.R < 2 {
+		p.R = 2
+	}
+	return p
+}
+
+// NewSpanningSketch returns an empty spanning-graph sketch for hypergraphs
+// on p.N vertices with cardinality at most p.R. Sketches with equal Params
+// are compatible for Merge and AddScaled.
+func NewSpanningSketch(p SpanningParams) (*SpanningSketch, error) {
+	p = p.withDefaults()
+	dom, err := graph.NewDomain(p.N, p.R)
+	if err != nil {
+		return nil, err
+	}
+	return NewSpanning(p.Seed, dom, SpanningConfig{Rounds: p.Rounds, Sampler: p.Sampler}), nil
+}
+
 // NewSpanning returns an empty spanning-graph sketch for hypergraphs over
 // the given domain. Sketches with equal seeds, domains and configs are
 // compatible for AddScaled.
+//
+// Deprecated: prefer NewSpanningSketch with SpanningParams; this positional
+// variant is kept for callers that already hold a validated Domain.
 func NewSpanning(seed uint64, dom graph.Domain, cfg SpanningConfig) *SpanningSketch {
 	cfg = cfg.withDefaults(dom.N())
 	ss := hashutil.NewSeedStream(seed)
@@ -86,18 +116,60 @@ func NewSpanning(seed uint64, dom graph.Domain, cfg SpanningConfig) *SpanningSke
 // hyperedge e, or a weighted variant. The update touches only the samplers
 // of e's endpoints — the sketch is vertex-based.
 func (s *SpanningSketch) Update(e graph.Hyperedge, delta int64) error {
+	return s.UpdateEdgeRange(e, delta, 0, s.dom.N())
+}
+
+// UpdateEdgeRange applies the update restricted to endpoints v with
+// lo ≤ v < hi; endpoints outside the range are untouched. Applying the same
+// update over a partition of [0, n) yields exactly the state of a full
+// Update — this per-vertex decomposability is what lets the parallel engine
+// shard updates across lock-free workers.
+//
+// The edge key is encoded once, and within each round the subsampling level
+// and fingerprint power are hashed once and fanned out to every in-range
+// endpoint (all samplers in a round share a seed), so the batched path also
+// amortizes hashing relative to per-endpoint Update calls.
+func (s *SpanningSketch) UpdateEdgeRange(e graph.Hyperedge, delta int64, lo, hi int) error {
 	key, err := s.dom.Encode(e)
 	if err != nil {
 		return err
 	}
 	head := int64(len(e) - 1)
 	for t := range s.samplers {
+		row := s.samplers[t]
+		hashed := false
+		var top int
+		var zPow field.Elem
 		for i, v := range e {
+			if v < lo || v >= hi {
+				continue
+			}
 			coeff := int64(-1)
 			if i == 0 { // e is canonical: e[0] = min(e)
 				coeff = head
 			}
-			s.samplers[t][v].Update(key, delta*coeff)
+			if !hashed {
+				top, zPow = row[v].Hash(key)
+				hashed = true
+			}
+			row[v].UpdateHashed(key, delta*coeff, top, zPow)
+		}
+	}
+	return nil
+}
+
+// UpdateBatch applies a slice of weighted updates in order; equivalent to
+// calling Update per element but with hashing amortized per edge.
+func (s *SpanningSketch) UpdateBatch(batch []graph.WeightedEdge) error {
+	return s.UpdateBatchRange(batch, 0, s.dom.N())
+}
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi);
+// see UpdateEdgeRange for the sharding contract.
+func (s *SpanningSketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	for _, we := range batch {
+		if err := s.UpdateEdgeRange(we.E, we.W, lo, hi); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -116,8 +188,13 @@ func (s *SpanningSketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
 
 // AddScaled adds scale copies of o into s (same seed/domain/config).
 func (s *SpanningSketch) AddScaled(o *SpanningSketch, scale int64) error {
-	if s.seed != o.seed || s.dom != o.dom || s.cfg != o.cfg {
-		return fmt.Errorf("sketch: incompatible spanning sketches")
+	switch {
+	case s.seed != o.seed:
+		return ErrSeedMismatch
+	case s.dom != o.dom:
+		return ErrDomainMismatch
+	case s.cfg != o.cfg:
+		return ErrConfigMismatch
 	}
 	for t := range s.samplers {
 		for v := range s.samplers[t] {
@@ -285,3 +362,29 @@ func (s *SpanningSketch) VertexWords(v int) int {
 	}
 	return w
 }
+
+// NumVertices returns n, the vertex space the sketch shards over.
+func (s *SpanningSketch) NumVertices() int { return s.dom.N() }
+
+// Merge adds another spanning sketch with identical seed, domain, and
+// config (graphsketch.Mergeable).
+func (s *SpanningSketch) Merge(o graphsketch.Sketch) error {
+	so, ok := o.(*SpanningSketch)
+	if !ok {
+		return graphsketch.ErrMergeMismatch
+	}
+	return s.AddScaled(so, 1)
+}
+
+// Marshal serializes the sketch contents (graphsketch.Sketch); identical to
+// State.
+func (s *SpanningSketch) Marshal() []byte { return s.State() }
+
+// Unmarshal merges serialized contents into the sketch; identical to
+// AddState.
+func (s *SpanningSketch) Unmarshal(data []byte) error { return s.AddState(data) }
+
+var (
+	_ graphsketch.Sharded     = (*SpanningSketch)(nil)
+	_ graphsketch.Unmarshaler = (*SpanningSketch)(nil)
+)
