@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fmt-check ci
+.PHONY: all build vet test race bench bench-json fmt-check ci
+
+# Benchmark knobs for bench-json: runs to average and time per run.
+# CI smoke uses BENCHTIME=1x; real measurements want the defaults or more.
+BENCHCOUNT ?= 1
+BENCHTIME ?= 1s
 
 all: build
 
@@ -19,7 +24,17 @@ race:
 # One benchmark pipeline per experiment plus the parallel ingest/decode
 # comparisons; -benchtime=1x keeps this a smoke run (drop it to measure).
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# Full-measurement benchmarks emitted as machine-readable JSON, with
+# improvement percentages against the checked-in pre-PR2 baseline when
+# present. Raise BENCHCOUNT (e.g. 5) for stable numbers.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel)' -benchmem \
+		-count $(BENCHCOUNT) -benchtime $(BENCHTIME) . \
+	| $(GO) run ./cmd/benchjson -out BENCH_pr2.json \
+		-baseline BENCH_baseline.json \
+		-label "PR2 flat-layout + interned randomness (count=$(BENCHCOUNT))"
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

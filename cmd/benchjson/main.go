@@ -1,0 +1,202 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON record, optionally merging a previously captured
+// baseline and computing per-benchmark improvement percentages. It is the
+// backend of `make bench-json`, which emits the BENCH_*.json files that
+// track the repository's performance trajectory PR over PR.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_pr2.json -baseline BENCH_baseline.json
+//
+// Reading from a file instead of stdin:
+//
+//	benchjson -in bench.txt -out BENCH_pr2.json
+//
+// The output schema is
+//
+//	{
+//	  "label": "...",
+//	  "benchmarks":  {"<name>": {"ns_op": .., "b_op": .., "allocs_op": .., "iters": ..}},
+//	  "baseline":    {... same shape, when -baseline is given ...},
+//	  "improvement": {"<name>": {"ns_pct": .., "allocs_pct": ..}}
+//	}
+//
+// where positive percentages mean the current run is better (lower ns/op or
+// allocs/op) than the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op"`
+	MBs      float64 `json:"mb_s,omitempty"`
+}
+
+// Improvement compares current against baseline; positive = better.
+type Improvement struct {
+	NsPct     float64 `json:"ns_pct"`
+	AllocsPct float64 `json:"allocs_pct"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Label       string                 `json:"label,omitempty"`
+	Benchmarks  map[string]Result      `json:"benchmarks"`
+	Baseline    map[string]Result      `json:"baseline,omitempty"`
+	Improvement map[string]Improvement `json:"improvement,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkE5Skeleton-8  	     100	  123456 ns/op	  2345 B/op	   67 allocs/op
+//	BenchmarkParallelIngest/serial-8  	 10	  1.5e+06 ns/op	 12.3 MB/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (map[string]Result, error) {
+	// Repeated lines for one benchmark (go test -count N) are averaged.
+	sums := make(map[string]Result)
+	runs := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		res := Result{}
+		res.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+			case "B/op":
+				res.BOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			case "MB/s":
+				res.MBs = v
+			}
+		}
+		s := sums[m[1]]
+		s.Iters += res.Iters
+		s.NsOp += res.NsOp
+		s.BOp += res.BOp
+		s.AllocsOp += res.AllocsOp
+		s.MBs += res.MBs
+		sums[m[1]] = s
+		runs[m[1]]++
+	}
+	out := make(map[string]Result, len(sums))
+	for name, s := range sums {
+		n := runs[name]
+		out[name] = Result{
+			Iters:    s.Iters / n,
+			NsOp:     s.NsOp / float64(n),
+			BOp:      s.BOp / float64(n),
+			AllocsOp: s.AllocsOp / float64(n),
+			MBs:      s.MBs / float64(n),
+		}
+	}
+	return out, sc.Err()
+}
+
+// pct returns the improvement of cur over base as a percentage of base:
+// positive when cur is lower (better). Zero baselines yield 0.
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - cur) / base
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON output file (default: stdout)")
+	baselinePath := flag.String("baseline", "", "baseline JSON (a prior benchjson -out) to embed and diff against")
+	label := flag.String("label", "", "free-form label recorded in the report")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	// Tee the bench output through so the human-readable run stays visible
+	// when benchjson sits at the end of a pipe.
+	var buf strings.Builder
+	benches, err := parse(io.TeeReader(src, &buf))
+	if *in == "" {
+		fmt.Fprint(os.Stderr, buf.String())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	rep := Report{Label: *label, Benchmarks: benches}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		rep.Baseline = base.Benchmarks
+		rep.Improvement = make(map[string]Improvement)
+		for name, cur := range benches {
+			if b, ok := rep.Baseline[name]; ok {
+				rep.Improvement[name] = Improvement{
+					NsPct:     pct(b.NsOp, cur.NsOp),
+					AllocsPct: pct(b.AllocsOp, cur.AllocsOp),
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	experiments [-run E1,E5] [-seed 1] [-quick]
+//	experiments [-run E1,E5] [-seed 1] [-quick] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// With no -run flag every experiment runs in order.
+// With no -run flag every experiment runs in order. The profile flags write
+// pprof files covering the selected experiments (`go tool pprof` reads them);
+// -memprofile snapshots the heap after a final GC, once all experiments end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 )
@@ -52,7 +56,37 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	csv := flag.String("csv", "", "also write each table as CSV into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if *csv != "" {
 		if err := os.MkdirAll(*csv, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "csv: %v\n", err)

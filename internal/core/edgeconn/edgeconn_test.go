@@ -1,6 +1,7 @@
 package edgeconn
 
 import (
+	"bytes"
 	"math/rand/v2"
 	"testing"
 
@@ -205,4 +206,30 @@ func TestVertexShareRoundTrip(t *testing.T) {
 	if lambda != 2 {
 		t.Fatalf("protocol λ(C10) = %d, want 2", lambda)
 	}
+}
+
+func TestNewWithDomainMatchesParams(t *testing.T) {
+	// The deprecated shim must route through New(Params) exactly: same
+	// randomness, same state, byte-identical serialization.
+	h := workload.MustHarary(12, 3)
+	a := NewWithDomain(55, h.Domain(), 3, sketch.SpanningConfig{})
+	b, err := New(Params{N: h.N(), R: h.Domain().R(), K: 3, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Marshal(), b.Marshal()) {
+		t.Fatal("NewWithDomain diverges from New(Params): serialized state differs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithDomain accepted k = 0")
+		}
+	}()
+	NewWithDomain(1, h.Domain(), 0, sketch.SpanningConfig{})
 }

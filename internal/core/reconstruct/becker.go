@@ -38,12 +38,13 @@ func NewBecker(seed uint64, n, d, slack int) *BeckerSketch {
 	ss := hashutil.NewSeedStream(seed ^ 0xbec8e2)
 	rows := make([]*recovery.SSparse, n)
 	cfg := recovery.SSparseConfig{S: slack * d}
+	// All rows share one seed: row u's coordinate v and row v's
+	// coordinate u always carry equal values, but the rows are
+	// separate vectors; a shared projection is fine and keeps the
+	// public randomness small — one Shape backs every row.
+	shape := recovery.NewShape(ss.At(0), uint64(n), cfg, 0)
 	for v := range rows {
-		// All rows share one seed: row u's coordinate v and row v's
-		// coordinate u always carry equal values, but the rows are
-		// separate vectors; a shared projection is fine and keeps the
-		// public randomness small.
-		rows[v] = recovery.NewSSparse(ss.At(0), uint64(n), cfg)
+		rows[v] = recovery.NewSSparseFromShape(shape)
 	}
 	return &BeckerSketch{n: n, d: d, budget: slack * d, rows: rows}
 }
@@ -138,14 +139,18 @@ func (b *BeckerSketch) Reconstruct() (*graph.Hypergraph, error) {
 	return out, nil
 }
 
-// Words returns the memory footprint in 64-bit words.
+// Words returns the memory footprint in 64-bit words, counting the rows'
+// shared projection randomness once.
 func (b *BeckerSketch) Words() int {
-	w := 0
+	w := b.SharedWords()
 	for _, r := range b.rows {
 		w += r.Words()
 	}
 	return w
 }
+
+// SharedWords returns the size of the single Shape every row shares.
+func (b *BeckerSketch) SharedWords() int { return b.rows[0].Shape().RandWords() }
 
 // VertexWords returns one row's share (the per-player message size).
 func (b *BeckerSketch) VertexWords(v int) int { return b.rows[v].Words() }

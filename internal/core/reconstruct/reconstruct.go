@@ -79,10 +79,11 @@ func New(p Params) (*Sketch, error) {
 // Deprecated: use New with Params; this shim preserves the pre-redesign
 // positional constructor.
 func NewWithDomain(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
-	if k < 1 {
-		panic("reconstruct: need k >= 1")
+	s, err := New(Params{N: dom.N(), R: dom.R(), K: k, Spanning: cfg, Seed: seed})
+	if err != nil {
+		panic(err)
 	}
-	return &Sketch{k: k, skeleton: sketch.NewSkeleton(seed, dom, k+1, cfg)}
+	return s
 }
 
 // Update applies a hyperedge insertion (+1) or deletion (−1).
@@ -228,6 +229,10 @@ func (s *Sketch) K() int { return s.k }
 
 // Words returns the memory footprint in 64-bit words.
 func (s *Sketch) Words() int { return s.skeleton.Words() }
+
+// SharedWords returns the interned-randomness portion of Words;
+// Words() == SharedWords() + Σ_v VertexWords(v).
+func (s *Sketch) SharedWords() int { return s.skeleton.SharedWords() }
 
 // VertexWords returns vertex v's share (simultaneous-communication message
 // size).

@@ -1,6 +1,7 @@
 package reconstruct
 
 import (
+	"bytes"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -218,7 +219,35 @@ func TestSpaceComparisonBeckerVsSkeleton(t *testing.T) {
 		sTot += s.VertexWords(v)
 		bTot += b.VertexWords(v)
 	}
-	if sTot != s.Words() || bTot != b.Words() {
+	// Vertex shares are cell state only; Words additionally counts the
+	// interned shared randomness once per family.
+	if sTot+s.SharedWords() != s.Words() || bTot+b.SharedWords() != b.Words() {
 		t.Fatal("per-vertex accounting inconsistent")
 	}
+}
+
+func TestNewWithDomainMatchesParams(t *testing.T) {
+	// The deprecated shim must route through New(Params) exactly: same
+	// randomness, same state, byte-identical serialization.
+	h := workload.PaperExample()
+	a := NewWithDomain(77, h.Domain(), 2, sketch.SpanningConfig{})
+	b, err := New(Params{N: h.N(), R: h.Domain().R(), K: 2, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Marshal(), b.Marshal()) {
+		t.Fatal("NewWithDomain diverges from New(Params): serialized state differs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithDomain accepted k = 0")
+		}
+	}()
+	NewWithDomain(1, h.Domain(), 0, sketch.SpanningConfig{})
 }

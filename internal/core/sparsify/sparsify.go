@@ -292,6 +292,16 @@ func (s *Sketch) Words() int {
 	return w
 }
 
+// SharedWords returns the interned-randomness portion of Words across all
+// levels; Words() == SharedWords() + Σ_v VertexWords(v).
+func (s *Sketch) SharedWords() int {
+	w := 0
+	for _, l := range s.levels {
+		w += l.SharedWords()
+	}
+	return w
+}
+
 // VertexWords returns vertex v's share across all levels.
 func (s *Sketch) VertexWords(v int) int {
 	w := 0

@@ -237,8 +237,10 @@ func TestWordsAccounting(t *testing.T) {
 	for v := 0; v < 8; v++ {
 		total += s.VertexWords(v)
 	}
-	if total != s.Words() {
-		t.Fatalf("vertex shares %d != total %d", total, s.Words())
+	// Vertex shares are cell state only; Words additionally counts the
+	// interned shared randomness once per sampler family.
+	if total+s.SharedWords() != s.Words() {
+		t.Fatalf("vertex shares %d + shared %d != total %d", total, s.SharedWords(), s.Words())
 	}
 }
 

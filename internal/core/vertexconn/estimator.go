@@ -191,3 +191,13 @@ func (e *Estimator) Words() int {
 	}
 	return w
 }
+
+// SharedWords returns the interned-randomness portion of Words across all
+// scales; the remainder is mutable cell state.
+func (e *Estimator) SharedWords() int {
+	w := 0
+	for _, s := range e.scales {
+		w += s.SharedWords()
+	}
+	return w
+}

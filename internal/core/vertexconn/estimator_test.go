@@ -94,9 +94,11 @@ func TestEstimatorScalesAndValidation(t *testing.T) {
 	if e.Scales() != 4 {
 		t.Fatalf("scales = %d, want 4", e.Scales())
 	}
-	// Samplers are lazy: a fresh estimator holds no state until an update.
-	if e.Words() != 0 {
-		t.Fatalf("fresh estimator holds %d words; expected lazy allocation", e.Words())
+	// Samplers are lazy: a fresh estimator holds no cell state until an
+	// update — only its interned shared randomness.
+	if e.Words() != e.SharedWords() {
+		t.Fatalf("fresh estimator holds %d words beyond shared randomness; expected lazy allocation",
+			e.Words()-e.SharedWords())
 	}
 	if err := stream.Apply(stream.FromGraph(workload.Cycle(16)), e); err != nil {
 		t.Fatal(err)

@@ -301,6 +301,16 @@ func (s *Sketch) Words() int {
 	return w
 }
 
+// SharedWords returns the interned-randomness portion of Words across all
+// subgraph sketches; Words() == SharedWords() + Σ_v VertexWords(v).
+func (s *Sketch) SharedWords() int {
+	w := 0
+	for _, sk := range s.sketches {
+		w += sk.SharedWords()
+	}
+	return w
+}
+
 // VertexWords returns vertex v's share of the sketch: the message size in
 // the simultaneous communication model (membership is public randomness and
 // costs nothing).

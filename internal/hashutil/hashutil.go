@@ -98,6 +98,46 @@ func (p PolyHash) Bucket(key uint64, m int) int {
 	return int(p.Hash(key) % uint64(m))
 }
 
+// Affine is the pairwise-independent family h(x) = c1·x + c0 over
+// GF(2^61-1) as a concrete two-word struct: the devirtualized form of
+// NewPolyHash(seed, 2) for hot paths that cannot afford an interface call
+// or a coefficient-slice walk per evaluation. NewAffine(seed) draws exactly
+// the same hash function as NewPolyHash(seed, 2) — the s-sparse recovery
+// rows rely on this equivalence, and a test pins it.
+type Affine struct {
+	C0, C1 field.Elem
+}
+
+// NewAffine draws a pairwise-independent hash function, identical to
+// NewPolyHash(seed, 2).
+func NewAffine(seed uint64) Affine {
+	ss := NewSeedStream(seed)
+	a := Affine{C0: field.Reduce(ss.At(0)), C1: field.Reduce(ss.At(1))}
+	if a.C1 == 0 {
+		a.C1 = 1
+	}
+	return a
+}
+
+// Hash evaluates the polynomial at key.
+func (a Affine) Hash(key uint64) uint64 {
+	return uint64(a.HashRed(field.Reduce(key)))
+}
+
+// HashRed evaluates the polynomial at an already-reduced point, for callers
+// that hoist the reduction out of a loop over many hash functions.
+func (a Affine) HashRed(xRed field.Elem) field.Elem {
+	return field.Add(field.Mul(a.C1, xRed), a.C0)
+}
+
+// Bucket maps key into [0, m), identically to PolyHash.Bucket.
+func (a Affine) Bucket(key uint64, m int) int {
+	if m <= 0 {
+		panic("hashutil: bucket count must be positive")
+	}
+	return int(uint64(a.HashRed(field.Reduce(key))) % uint64(m))
+}
+
 // LevelHash assigns each key a geometric level: level >= l with probability
 // 2^-l. It drives the subsampling schedules of the L0 sampler (coordinate i
 // participates in levels 0..Level(i)) and of the sparsifier's nested

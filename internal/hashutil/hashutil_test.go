@@ -201,3 +201,35 @@ func BenchmarkPolyHashPairwise(b *testing.B) {
 	}
 	_ = acc
 }
+
+// Affine is the devirtualized form of NewPolyHash(seed, 2); the s-sparse
+// recovery rows were migrated from one to the other, so the two must draw
+// identical functions from the family for every seed — otherwise seeded
+// tests and serialized sketches would silently change meaning.
+func TestAffineMatchesPolyHash(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 2, 42, 0xdeadbeef, ^uint64(0)} {
+		p := NewPolyHash(seed, 2)
+		a := NewAffine(seed)
+		for i := 0; i < 2000; i++ {
+			key := uint64(i) * 0x9e3779b97f4a7c15
+			if p.Hash(key) != a.Hash(key) {
+				t.Fatalf("seed %#x key %#x: PolyHash %d != Affine %d",
+					seed, key, p.Hash(key), a.Hash(key))
+			}
+			for _, m := range []int{1, 7, 8, 64, 1000} {
+				if p.Bucket(key, m) != a.Bucket(key, m) {
+					t.Fatalf("seed %#x key %#x m %d: bucket mismatch", seed, key, m)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAffineHash(b *testing.B) {
+	h := NewAffine(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= h.Hash(uint64(i))
+	}
+	_ = acc
+}

@@ -14,6 +14,12 @@
 // can be added and subtracted, which the graph sketches use to sum vertex
 // incidence vectors across supernodes (Boruvka rounds) and to peel known
 // subgraphs out of skeleton sketches.
+//
+// All seed-derived public randomness — level hash, fingerprint ladder,
+// per-level bucket-hash coefficients — is interned in a package registry
+// keyed by (seed, domain, config), so the thousands of same-seed samplers a
+// spanning or skeleton sketch allocates share one copy instead of each
+// re-deriving and storing it.
 package l0
 
 import (
@@ -59,48 +65,35 @@ func (c Config) withDefaults(domain uint64) Config {
 // vertex per round) proportional to the sketch's *information* content
 // rather than to the worst-case level count. An unallocated level is
 // exactly a zero structure; linearity is unaffected.
+//
+// The sampler's own state is only the level slice; every derived constant
+// (hashes, ladder, per-level shapes, pre-defaulted config) lives in the
+// interned sharedRand, sized once from the domain at interning time.
 type Sampler struct {
-	cfg    Config
-	dom    uint64
-	seed   uint64
-	ss     hashutil.SeedStream
+	sh     *sharedRand
 	levels []*recovery.SSparse // nil entries are implicitly zero
-	lh     hashutil.LevelHash
-	tie    uint64 // seed for the min-hash tie-break used by Sample
-	// All levels share one fingerprint point so a single ladder
-	// evaluation of z^i per update serves every touched level. The
-	// ladder is public randomness (derived from the seed) and shared
-	// between clones; it costs no sketch space.
-	z      field.Elem
-	ladder *field.Ladder
 }
 
 // New returns a sampler for indices in [0, domain). Samplers with equal
 // seeds, domains and configs are compatible for AddScaled.
 func New(seed uint64, domain uint64, cfg Config) *Sampler {
 	cfg = cfg.withDefaults(domain)
-	ss := hashutil.NewSeedStream(seed)
-	z := recovery.FingerprintPoint(ss.At(2))
 	return &Sampler{
-		cfg:    cfg,
-		dom:    domain,
-		seed:   seed,
-		ss:     ss,
-		lh:     hashutil.NewLevelHash(ss.At(0), cfg.MaxLevels-1),
-		tie:    ss.At(1),
+		sh:     internShared(seed, domain, cfg),
 		levels: make([]*recovery.SSparse, cfg.MaxLevels),
-		z:      z,
-		ladder: field.NewLadder(z),
 	}
 }
 
 // level returns the recovery structure for lv, allocating it if needed.
+// Allocation is three pointer-free slices over the interned shape — no
+// config re-derivation, no hash drawing.
 func (s *Sampler) level(lv int) *recovery.SSparse {
-	if s.levels[lv] == nil {
-		rcfg := recovery.SSparseConfig{S: s.cfg.S, Rows: s.cfg.Rows, BucketsPerS: s.cfg.BucketsPerS}
-		s.levels[lv] = recovery.NewSSparseAt(s.ss.At(uint64(100+lv)), s.dom, rcfg, s.z)
+	t := s.levels[lv]
+	if t == nil {
+		t = recovery.NewSSparseFromShape(s.sh.shapes[lv])
+		s.levels[lv] = t
 	}
-	return s.levels[lv]
+	return t
 }
 
 // Update applies f[i] += delta. One ladder evaluation of z^i serves every
@@ -117,20 +110,34 @@ func (s *Sampler) Update(i uint64, delta int64) {
 // edge's endpoints) can evaluate them once and fan the result out with
 // UpdateHashed.
 func (s *Sampler) Hash(i uint64) (top int, zPow field.Elem) {
-	return s.lh.Level(i), s.ladder.Pow(i)
+	return s.sh.lh.Level(i), s.sh.ladder.Pow(i)
 }
 
 // UpdateHashed applies f[i] += delta given a precomputed (top, zPow) pair
-// obtained from Hash on a sampler with the same seed and config.
+// obtained from Hash on a sampler with the same seed and config. The
+// reduction of i and the per-cell field increments are computed once and
+// fanned out to every touched level; after its levels exist, the path
+// allocates nothing.
 func (s *Sampler) UpdateHashed(i uint64, delta int64, top int, zPow field.Elem) {
+	if i >= s.sh.dom {
+		panic("l0: index out of domain")
+	}
+	iRed := field.Reduce(i)
+	dMom, dFp := recovery.DeltaTerms(iRed, zPow, delta)
+	levels := s.levels
 	for lv := 0; lv <= top; lv++ {
-		s.level(lv).UpdatePow(i, delta, zPow)
+		t := levels[lv]
+		if t == nil { // manual inline of level(): keep the hot loop call-free
+			t = recovery.NewSSparseFromShape(s.sh.shapes[lv])
+			levels[lv] = t
+		}
+		t.ApplyDelta(iRed, delta, dMom, dFp)
 	}
 }
 
 // AddScaled adds scale copies of o into s.
 func (s *Sampler) AddScaled(o *Sampler, scale int64) error {
-	if s.seed != o.seed || s.dom != o.dom || s.cfg != o.cfg {
+	if s.sh != o.sh && (s.sh.seed != o.sh.seed || s.sh.dom != o.sh.dom || s.sh.cfg != o.sh.cfg) {
 		return recovery.ErrIncompatible
 	}
 	for lv := range o.levels {
@@ -144,7 +151,7 @@ func (s *Sampler) AddScaled(o *Sampler, scale int64) error {
 	return nil
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (the interned randomness is shared).
 func (s *Sampler) Clone() *Sampler {
 	cp := *s
 	cp.levels = make([]*recovery.SSparse, len(s.levels))
@@ -188,7 +195,7 @@ func (s *Sampler) Sample() (idx uint64, val int64, ok bool) {
 		best := uint64(0)
 		bestHash := ^uint64(0)
 		for i := range vec {
-			h := hashutil.Mix64(s.tie + hashutil.Mix64(i))
+			h := hashutil.Mix64(s.sh.tie + hashutil.Mix64(i))
 			if h < bestHash {
 				bestHash = h
 				best = i
@@ -210,14 +217,29 @@ func (s *Sampler) Decode() (map[uint64]int64, bool) {
 }
 
 // Domain returns the exclusive index upper bound.
-func (s *Sampler) Domain() uint64 { return s.dom }
+func (s *Sampler) Domain() uint64 { return s.sh.dom }
 
 // Config returns the (defaulted) configuration.
-func (s *Sampler) Config() Config { return s.cfg }
+func (s *Sampler) Config() Config { return s.sh.cfg }
 
-// Words returns the memory footprint in 64-bit words. Only allocated levels
-// count: unallocated levels carry no state.
+// Words returns the memory footprint in 64-bit words: the allocated levels'
+// cells (unallocated levels carry no state) plus this sampler's amortized
+// share of the interned randomness — SharedWords divided across every
+// same-parameter sampler constructed so far. Summing Words over a family of
+// same-seed samplers therefore counts the shared state once (up to
+// rounding), which keeps the experiments' space tables honest now that the
+// randomness is stored once per family rather than once per sampler.
 func (s *Sampler) Words() int {
+	return s.sh.amortizedWords() + s.StateWords()
+}
+
+// StateWords returns the cells-only footprint in 64-bit words: exactly the
+// sampler's serialized content, and the message size of a vertex share in
+// the simultaneous communication model (the shared randomness is public and
+// never transmitted). Containers that know their family structure — a
+// spanning sketch's n same-seed samplers per round — combine StateWords
+// with one SharedWords per family for exact deterministic accounting.
+func (s *Sampler) StateWords() int {
 	w := 0
 	for _, lv := range s.levels {
 		if lv != nil {
@@ -226,3 +248,8 @@ func (s *Sampler) Words() int {
 	}
 	return w
 }
+
+// SharedWords returns the un-amortized size in 64-bit words of the interned
+// seed-derived randomness this sampler references (fingerprint ladder,
+// level hash, tie-break seed, and every level's bucket-hash coefficients).
+func (s *Sampler) SharedWords() int { return s.sh.words }

@@ -225,18 +225,62 @@ func TestDecodeSmallSupport(t *testing.T) {
 
 func TestWordsAccounting(t *testing.T) {
 	s := New(1, dom, Config{S: 8, Rows: 2, BucketsPerS: 2})
-	if s.Words() != 0 {
-		t.Fatalf("fresh sampler allocated %d words; levels should be lazy", s.Words())
+	if s.StateWords() != 0 {
+		t.Fatalf("fresh sampler allocated %d state words; levels should be lazy", s.StateWords())
+	}
+	// A fresh sampler still accounts for its (amortized) share of the
+	// interned randomness — Words is space, StateWords is message size.
+	base := s.Words()
+	if base <= 0 || base > s.SharedWords() {
+		t.Fatalf("fresh Words = %d, want in (0, %d]", base, s.SharedWords())
 	}
 	s.Update(12345, 1)
 	perLevel := 3 + 2*16*3
-	w := s.Words()
+	w := s.StateWords()
 	if w <= 0 || w%perLevel != 0 {
-		t.Fatalf("Words = %d, not a positive multiple of per-level %d", w, perLevel)
+		t.Fatalf("StateWords = %d, not a positive multiple of per-level %d", w, perLevel)
 	}
 	// A single update allocates at least level 0 and no more than all 33.
 	if w < perLevel || w > 33*perLevel {
-		t.Fatalf("Words = %d outside [%d, %d]", w, perLevel, 33*perLevel)
+		t.Fatalf("StateWords = %d outside [%d, %d]", w, perLevel, 33*perLevel)
+	}
+	if s.Words() != base+w {
+		t.Fatalf("Words = %d, want shared %d + state %d", s.Words(), base, w)
+	}
+}
+
+// TestSharedWordsAmortized pins the interning-aware accounting: every
+// same-parameter sampler shares one copy of the seed-derived randomness,
+// and Words divides that copy (rounding up) across the family so that
+// summing Words over the family counts it once.
+func TestSharedWordsAmortized(t *testing.T) {
+	cfg := Config{S: 4, Rows: 2, BucketsPerS: 3, MaxLevels: 9}
+	const seed = 0xa11ce5eed // unique to this test: fresh registry entry
+	s1 := New(seed, dom, cfg)
+	shared := s1.SharedWords()
+	// 64 ladder words + fingerprint point + level hash (2) + tie seed,
+	// plus per-level 2 coefficients per row and the shared point.
+	want := 64 + 1 + 2 + 1 + 9*(2*2+1)
+	if shared != want {
+		t.Fatalf("SharedWords = %d, want %d", shared, want)
+	}
+	if s1.Words() != shared {
+		t.Fatalf("single sampler Words = %d, want full shared %d", s1.Words(), shared)
+	}
+	s2 := New(seed, dom, cfg)
+	half := (shared + 1) / 2
+	if s1.Words() != half || s2.Words() != half {
+		t.Fatalf("family of two reports %d/%d words, want %d each",
+			s1.Words(), s2.Words(), half)
+	}
+	// Clones share the entry without deepening the amortization.
+	if c := s1.Clone(); c.Words() != half {
+		t.Fatalf("clone Words = %d, want %d", c.Words(), half)
+	}
+	// Different seed, same config: its own registry entry, full cost.
+	s3 := New(seed+1, dom, cfg)
+	if s3.Words() != shared {
+		t.Fatalf("distinct-seed sampler Words = %d, want %d", s3.Words(), shared)
 	}
 }
 

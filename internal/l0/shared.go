@@ -1,0 +1,117 @@
+package l0
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphsketch/internal/field"
+	"graphsketch/internal/hashutil"
+	"graphsketch/internal/recovery"
+)
+
+// sharedRand is the seed-derived public randomness of a sampler: the level
+// hash, tie-break seed, fingerprint point with its exponentiation ladder,
+// and one recovery.Shape per subsampling level. Everything in it is
+// immutable after construction and determined entirely by (seed, domain,
+// config), so every sampler built from the same parameters can share one
+// instance. A spanning sketch allocates one sampler per vertex per round
+// with the round's seed — n samplers per round — and before interning each
+// re-derived and stored all of this privately; with the registry the round
+// pays for it once.
+type sharedRand struct {
+	cfg    Config // defaulted
+	dom    uint64
+	seed   uint64
+	lh     hashutil.LevelHash
+	tie    uint64 // seed for the min-hash tie-break used by Sample
+	z      field.Elem
+	ladder *field.Ladder
+	shapes []*recovery.Shape // per-level geometry and bucket hashes
+	words  int               // un-amortized derived-randomness words
+	refs   atomic.Int64      // samplers constructed against this entry
+}
+
+type sharedKey struct {
+	seed uint64
+	dom  uint64
+	cfg  Config
+}
+
+// registry interns sharedRand values. Entries are retained so later
+// same-parameter samplers (the overwhelmingly common case: every vertex of
+// every round, and every reconstruction retry with the same seed) hit the
+// cache. The map is bounded: if a workload churns through more than
+// registryCap distinct parameterizations, the map is reset — live samplers
+// keep their entries via their own pointers, and re-deriving a dropped
+// entry is correct because the randomness is a pure function of the key.
+var (
+	registryMu sync.Mutex
+	registry   = make(map[sharedKey]*sharedRand)
+)
+
+const registryCap = 1 << 12
+
+func internShared(seed, dom uint64, cfg Config) *sharedRand {
+	key := sharedKey{seed: seed, dom: dom, cfg: cfg}
+	registryMu.Lock()
+	if sh, ok := registry[key]; ok {
+		sh.refs.Add(1)
+		registryMu.Unlock()
+		return sh
+	}
+	registryMu.Unlock()
+	// Build outside the lock: derivation is pure, so a racing builder at
+	// worst duplicates work and the second re-check below discards it.
+	sh := newSharedRand(seed, dom, cfg)
+	registryMu.Lock()
+	if exist, ok := registry[key]; ok {
+		exist.refs.Add(1)
+		registryMu.Unlock()
+		return exist
+	}
+	if len(registry) >= registryCap {
+		registry = make(map[sharedKey]*sharedRand)
+	}
+	registry[key] = sh
+	sh.refs.Add(1)
+	registryMu.Unlock()
+	return sh
+}
+
+// newSharedRand derives the full randomness for (seed, dom, cfg). The
+// derivation schedule (which sub-seed feeds what) is unchanged from the
+// pre-interning sampler, so seeded tests and serialized states are
+// unaffected.
+func newSharedRand(seed, dom uint64, cfg Config) *sharedRand {
+	ss := hashutil.NewSeedStream(seed)
+	z := recovery.FingerprintPoint(ss.At(2))
+	sh := &sharedRand{
+		cfg:    cfg,
+		dom:    dom,
+		seed:   seed,
+		lh:     hashutil.NewLevelHash(ss.At(0), cfg.MaxLevels-1),
+		tie:    ss.At(1),
+		z:      z,
+		ladder: field.NewLadder(z),
+		shapes: make([]*recovery.Shape, cfg.MaxLevels),
+	}
+	rcfg := recovery.SSparseConfig{S: cfg.S, Rows: cfg.Rows, BucketsPerS: cfg.BucketsPerS}
+	words := 64 /* ladder */ + 1 /* z */ + 2 /* level hash */ + 1 /* tie */
+	for lv := range sh.shapes {
+		sh.shapes[lv] = recovery.NewShape(ss.At(uint64(100+lv)), dom, rcfg, z)
+		words += sh.shapes[lv].RandWords()
+	}
+	sh.words = words
+	return sh
+}
+
+// amortizedWords returns this entry's randomness cost divided (rounding up)
+// across every sampler constructed against it, so that summing Words over
+// a family of same-seed samplers counts the shared state once.
+func (sh *sharedRand) amortizedWords() int {
+	refs := int(sh.refs.Load())
+	if refs < 1 {
+		refs = 1
+	}
+	return (sh.words + refs - 1) / refs
+}

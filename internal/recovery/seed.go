@@ -2,14 +2,11 @@ package recovery
 
 import "graphsketch/internal/hashutil"
 
-// newSeedStream and newRowHash isolate the package's dependency on hashutil
-// so the recovery types read in terms of their own vocabulary.
+// newSeedStream isolates the package's dependency on hashutil so the
+// recovery types read in terms of their own vocabulary. The per-row bucket
+// hashes are hashutil.Affine values drawn in NewShape — the concrete,
+// inlinable form of the pairwise-independent polynomial family.
 
 func newSeedStream(seed uint64) hashutil.SeedStream {
 	return hashutil.NewSeedStream(seed)
-}
-
-func newRowHash(seed uint64) polyBucket {
-	h := hashutil.NewPolyHash(seed, 2)
-	return h
 }

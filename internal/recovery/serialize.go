@@ -35,13 +35,16 @@ func (c *OneSparse) AddBinary(b []byte) ([]byte, error) {
 }
 
 // AppendBinary serializes the structure's cells ((1 + rows·buckets) × 24
-// bytes); shape and hashes are public randomness.
+// bytes); shape and hashes are public randomness. The wire format is
+// unchanged from the pointer-grid layout: the certification cell followed
+// by the grid cells in row-major order, 24 bytes each — exactly the order
+// the flat slices store them in.
 func (t *SSparse) AppendBinary(b []byte) []byte {
 	b = t.total.AppendBinary(b)
-	for r := range t.cells {
-		for i := range t.cells[r] {
-			b = t.cells[r][i].AppendBinary(b)
-		}
+	for i := range t.count {
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.count[i]))
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.mom[i]))
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.fp[i]))
 	}
 	return b
 }
@@ -53,17 +56,19 @@ func (t *SSparse) AddBinary(b []byte) ([]byte, error) {
 	if b, err = t.total.AddBinary(b); err != nil {
 		return nil, err
 	}
-	for r := range t.cells {
-		for i := range t.cells[r] {
-			if b, err = t.cells[r][i].AddBinary(b); err != nil {
-				return nil, err
-			}
-		}
+	if len(b) < 24*len(t.count) {
+		return nil, ErrShortBuffer
+	}
+	for i := range t.count {
+		t.count[i] += int64(binary.LittleEndian.Uint64(b))
+		t.mom[i] = field.Add(t.mom[i], field.Elem(binary.LittleEndian.Uint64(b[8:])))
+		t.fp[i] = field.Add(t.fp[i], field.Elem(binary.LittleEndian.Uint64(b[16:])))
+		b = b[24:]
 	}
 	return b, nil
 }
 
 // BinarySize returns the serialized size in bytes.
 func (t *SSparse) BinarySize() int {
-	return (1 + t.rows*t.buckets) * 24
+	return (1 + len(t.count)) * 24
 }

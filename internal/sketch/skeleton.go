@@ -231,6 +231,16 @@ func (s *SkeletonSketch) Words() int {
 	return w
 }
 
+// SharedWords returns the interned-randomness portion of Words across all
+// layers; Words() == SharedWords() + Σ_v VertexWords(v).
+func (s *SkeletonSketch) SharedWords() int {
+	w := 0
+	for _, l := range s.layers {
+		w += l.SharedWords()
+	}
+	return w
+}
+
 // VertexWords returns a single vertex's share of the sketch.
 func (s *SkeletonSketch) VertexWords(v int) int {
 	w := 0

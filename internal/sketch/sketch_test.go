@@ -394,8 +394,15 @@ func TestVertexWordsAccounting(t *testing.T) {
 	for v := 0; v < 16; v++ {
 		total += s.VertexWords(v)
 	}
-	if total != s.Words() {
-		t.Fatalf("vertex shares sum to %d, total %d", total, s.Words())
+	// Words additionally counts one interned copy of each round's shared
+	// randomness; the vertex shares are pure cell state (the messages of
+	// the communication model, which never carry the public coins).
+	shared := 0
+	for t2 := range s.samplers {
+		shared += s.samplers[t2][0].SharedWords()
+	}
+	if total+shared != s.Words() {
+		t.Fatalf("vertex shares %d + shared %d != total %d", total, shared, s.Words())
 	}
 }
 

@@ -342,23 +342,42 @@ func (s *SpanningSketch) Config() SpanningConfig { return s.cfg }
 // Seed returns the master seed.
 func (s *SpanningSketch) Seed() uint64 { return s.seed }
 
-// Words returns the total memory footprint in 64-bit words.
+// Words returns the total memory footprint in 64-bit words: every vertex's
+// cells plus, once per round, the interned seed-derived randomness the
+// round's n samplers share. Before interning each sampler stored that
+// randomness privately; counting it once keeps the space tables aligned
+// with what the process actually holds.
 func (s *SpanningSketch) Words() int {
 	w := 0
 	for t := range s.samplers {
-		for v := range s.samplers[t] {
-			w += s.samplers[t][v].Words()
+		row := s.samplers[t]
+		w += row[0].SharedWords()
+		for v := range row {
+			w += row[v].StateWords()
 		}
 	}
 	return w
 }
 
-// VertexWords returns the memory footprint of a single vertex's share of
-// the sketch — the message size in the simultaneous communication model.
+// SharedWords returns the size in 64-bit words of the interned seed-derived
+// randomness the sketch references: one copy per round, shared by the
+// round's n samplers. Words() == SharedWords() + Σ_v VertexWords(v).
+func (s *SpanningSketch) SharedWords() int {
+	w := 0
+	for t := range s.samplers {
+		w += s.samplers[t][0].SharedWords()
+	}
+	return w
+}
+
+// VertexWords returns the size of a single vertex's share of the sketch —
+// the message size in the simultaneous communication model. Messages carry
+// only cell state; the shared randomness is the model's public coin and is
+// never transmitted.
 func (s *SpanningSketch) VertexWords(v int) int {
 	w := 0
 	for t := range s.samplers {
-		w += s.samplers[t][v].Words()
+		w += s.samplers[t][v].StateWords()
 	}
 	return w
 }
