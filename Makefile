@@ -27,14 +27,23 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # Full-measurement benchmarks emitted as machine-readable JSON, with
-# improvement percentages against the checked-in pre-PR2 baseline when
-# present. Raise BENCHCOUNT (e.g. 5) for stable numbers.
+# improvement percentages against the checked-in PR2 results when present
+# (the obs-disabled numbers must stay within noise of them; parallel-obs
+# shows the <= 5% enabled overhead). Raise BENCHCOUNT (e.g. 5) for stable
+# numbers.
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel)' -benchmem \
 		-count $(BENCHCOUNT) -benchtime $(BENCHTIME) . \
-	| $(GO) run ./cmd/benchjson -out BENCH_pr2.json \
-		-baseline BENCH_baseline.json \
-		-label "PR2 flat-layout + interned randomness (count=$(BENCHCOUNT))"
+	| $(GO) run ./cmd/benchjson -out BENCH_pr3.json \
+		-baseline BENCH_pr2.json \
+		-label "PR3 telemetry layer (count=$(BENCHCOUNT))"
+
+# Race-enabled run of the concurrency-sensitive packages plus the obs
+# endpoint smoke test — the fast loop CI runs on every push (race over the
+# whole module is the `race` target).
+obs-check:
+	$(GO) test -race ./internal/engine/ ./internal/obs/
+	$(GO) test -run TestObsEndpointSmoke ./cmd/experiments/
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

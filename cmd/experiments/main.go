@@ -21,6 +21,8 @@ import (
 	"runtime/pprof"
 	"strings"
 	"time"
+
+	"graphsketch/internal/obs"
 )
 
 // Config carries the shared experiment knobs.
@@ -58,7 +60,16 @@ func main() {
 	csv := flag.String("csv", "", "also write each table as CSV into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
+	obsAddr := flag.String("obs-addr", "", "enable metrics and serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
+	if *obsAddr != "" {
+		bound, err := obs.Setup(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics\n", bound)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

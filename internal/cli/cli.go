@@ -21,9 +21,31 @@ import (
 	"graphsketch/internal/core/vertexconn"
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/plan"
 	"graphsketch/internal/stream"
 )
+
+// obsAddrFlag registers the shared -obs-addr flag on a tool's flag set.
+func obsAddrFlag(fs *flag.FlagSet) *string {
+	return fs.String("obs-addr", "",
+		"enable metrics and serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+}
+
+// startObs acts on a parsed -obs-addr value: a non-empty address enables
+// collection and serves the observability endpoints for the life of the
+// process, reporting the bound address (useful with ':0') on stderr.
+func startObs(addr string, stderr io.Writer) error {
+	if addr == "" {
+		return nil
+	}
+	bound, err := obs.Setup(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "obs: serving http://%s/metrics\n", bound)
+	return nil
+}
 
 // parseProfile maps a -profile flag value to a plan.Profile.
 func parseProfile(name string) (plan.Profile, error) {
@@ -107,7 +129,11 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
 	save := fs.String("save", "", "write the sketch state to this file after consuming the stream")
 	load := fs.String("load", "", "merge a previously saved sketch state before consuming the stream")
+	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
 	if *n < 2 {
@@ -202,7 +228,11 @@ func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 	levels := fs.Int("levels", 0, "subsampling levels (0 = 3·log2 n)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
 	if *n < 2 {
@@ -261,7 +291,11 @@ func RunReconstruct(args []string, stdin io.Reader, stdout, stderr io.Writer) er
 	seed := fs.Uint64("seed", 1, "random seed")
 	light := fs.Bool("light", false, "print light_k(G) even if reconstruction is incomplete")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
 	if *n < 2 {
@@ -315,7 +349,11 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	st := fs.String("st", "", "report the s-t cut for this 'u,v' pair instead of the global min cut")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
 	if *n < 2 {

@@ -26,7 +26,11 @@ func RunGenstream(args []string, stdout, stderr io.Writer) error {
 	churn := fs.Float64("churn", 0, "transient edges as a fraction of final edges")
 	window := fs.Bool("window", false, "emit a sliding-window stream instead of two-phase churn")
 	seed := fs.Uint64("seed", 1, "random seed")
+	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
 

@@ -75,6 +75,8 @@ func Run(h *graph.Hypergraph, newPlayer func() Protocol, referee Protocol) (Resu
 			res.MaxMessageBytes = len(msg)
 		}
 		res.TotalBytes += len(msg)
+		cm.messages.Inc()
+		cm.bytes.Add(int64(len(msg)))
 		if err := referee.AddVertexShare(v, msg); err != nil {
 			return res, fmt.Errorf("commsim: referee merging player %d: %w", v, err)
 		}

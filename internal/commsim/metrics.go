@@ -1,0 +1,20 @@
+package commsim
+
+import "graphsketch/internal/obs"
+
+// Communication-simulation counters: messages exchanged (one per player)
+// and their serialized volume, the quantities the paper's communication
+// bounds are stated in.
+var cm struct {
+	messages *obs.Counter // commsim_messages_total
+	bytes    *obs.Counter // commsim_message_bytes_total
+}
+
+func init() {
+	obs.OnEnable(func(r *obs.Registry) {
+		cm.messages = r.Counter("commsim_messages_total",
+			"Player-to-referee messages simulated")
+		cm.bytes = r.Counter("commsim_message_bytes_total",
+			"Serialized bytes of all simulated messages")
+	})
+}

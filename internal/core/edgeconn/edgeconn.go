@@ -21,6 +21,7 @@ import (
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
 
@@ -114,11 +115,13 @@ func (s *Sketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error 
 // all CPUs.
 func (s *Sketch) Skeleton() (*graph.Hypergraph, error) {
 	if s.decoded == nil {
+		sp := obs.StartSpan("edgeconn.skeleton", em.skelSpan)
 		skel, err := engine.DecodeSkeleton(s.skeleton)
 		if err != nil {
 			return nil, err
 		}
 		s.decoded = skel
+		sp.End("k", s.skeleton.K())
 	}
 	return s.decoded, nil
 }

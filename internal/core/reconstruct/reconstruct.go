@@ -23,6 +23,7 @@ import (
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
 
@@ -157,6 +158,7 @@ func (s *Sketch) LightEdges() (*graph.Hypergraph, error) {
 // this to compute F_i = light_k(G_i − F_0 − … − F_{i−1}) from the level-i
 // sketch. A nil sub means light_k(G).
 func (s *Sketch) LightEdgesMinus(sub *graph.Hypergraph) (*graph.Hypergraph, error) {
+	sp := obs.StartSpan("reconstruct.light_edges", rm.lightSpan)
 	dom := s.skeleton.Domain()
 	light := graph.MustHypergraph(dom.N(), dom.R())
 	work := s.skeleton.Clone()
@@ -172,6 +174,8 @@ func (s *Sketch) LightEdgesMinus(sub *graph.Hypergraph) (*graph.Hypergraph, erro
 		}
 		weak := graphalg.WeakEdges(skel, int64(s.k))
 		if len(weak) == 0 {
+			rm.peelRounds.Observe(float64(round))
+			sp.End("k", s.k, "rounds", round)
 			return light, nil
 		}
 		peeled := graph.MustHypergraph(dom.N(), dom.R())

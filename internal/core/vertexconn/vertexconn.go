@@ -35,6 +35,7 @@ import (
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/hashutil"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
 
@@ -210,6 +211,7 @@ func (s *Sketch) BuildH() (*graph.Hypergraph, int, error) {
 	if s.decoded != nil {
 		return s.decoded, 0, nil
 	}
+	sp := obs.StartSpan("vertexconn.build_h", vm.buildSpan)
 	forests := make([]*graph.Hypergraph, len(s.sketches))
 	errs := make([]error, len(s.sketches))
 	// Each forest decode reads only its own sketch; fan out across CPUs
@@ -225,6 +227,7 @@ func (s *Sketch) BuildH() (*graph.Hypergraph, int, error) {
 	for i := range forests {
 		if errs[i] != nil {
 			failures++
+			vm.failures.Inc()
 			if failures > len(s.sketches)/10+1 {
 				return nil, failures, fmt.Errorf("vertexconn: %d/%d forest decodes failed (subgraph %d): %w",
 					failures, len(s.sketches), i, errs[i])
@@ -238,6 +241,7 @@ func (s *Sketch) BuildH() (*graph.Hypergraph, int, error) {
 		}
 	}
 	s.decoded = h
+	sp.End("subgraphs", len(s.sketches), "failures", failures)
 	return h, failures, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"graphsketch/internal/graph"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
 
@@ -29,6 +30,8 @@ func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hyper
 		// time and keeps a single working set, which is strictly cheaper.
 		return sk.Skeleton()
 	}
+	sp := obs.StartSpan("engine.decode_skeleton", em.decodeSpan)
+	defer sp.End("k", sk.K(), "workers", workers)
 	layers := sk.Layers()
 	work := make([]*sketch.SpanningSketch, len(layers))
 	_ = ForEach(workers, len(layers), func(i int) error {

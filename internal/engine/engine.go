@@ -1,13 +1,19 @@
 package engine
 
 import (
+	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"graphsketch"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/stream"
 )
+
+// ErrClosed is returned by updates submitted after Close.
+var ErrClosed = errors.New("engine: closed")
 
 // DefaultBatchSize is the number of stream updates Consume groups into one
 // parallel dispatch when the caller passes batchSize <= 0. Large enough to
@@ -27,21 +33,34 @@ type Options struct {
 // batch is fully applied, so the engine is a drop-in stream.Sink: calls
 // never overlap, and decoding between calls is safe.
 //
-// The engine must be released with Close once ingestion is done; Close is
-// idempotent.
+// The engine must be released with Close once ingestion is done. Close is
+// idempotent and safe to call concurrently with itself and with in-flight
+// updates: it waits for the running batch and later updates return
+// ErrClosed.
 type Engine struct {
 	target graphsketch.Sharded
 	bounds []int // len(workers)+1 shard boundaries over [0, n)
 	jobs   []chan job
 	wg     sync.WaitGroup
+
+	// mu serializes dispatches against each other and against Close:
+	// concurrent UpdateBatch callers apply whole batches back to back (the
+	// merged state is identical either way — the sketches are linear), and
+	// Close cannot close a job channel mid-send. It also protects the
+	// dispatch scratch below, which is reused across calls so the
+	// steady-state ingest path performs zero allocations.
+	mu     sync.Mutex
 	closed bool
+	errs   []error // one slot per worker
+	done   sync.WaitGroup
+	one    [1]graph.WeightedEdge // Update's single-edge batch
+
+	stats *engineStats // per-shard skew metrics; nil when obs is disabled
 }
 
 type job struct {
-	batch []graph.WeightedEdge
-	errs  []error // one slot per worker
-	idx   int
-	done  *sync.WaitGroup
+	batch    []graph.WeightedEdge
+	enqueued time.Time // dispatch timestamp; zero when obs is disabled
 }
 
 // New returns an engine over target with opt.Workers vertex shards. The
@@ -64,6 +83,8 @@ func New(target graphsketch.Sharded, opt Options) *Engine {
 	for i := 0; i <= w; i++ {
 		e.bounds[i] = i * n / w
 	}
+	e.errs = make([]error, w)
+	e.stats = newEngineStats(obs.Default(), w)
 	for i := range e.jobs {
 		e.jobs[i] = make(chan job)
 		e.wg.Add(1)
@@ -76,8 +97,14 @@ func (e *Engine) worker(i int) {
 	defer e.wg.Done()
 	lo, hi := e.bounds[i], e.bounds[i+1]
 	for j := range e.jobs[i] {
-		j.errs[j.idx] = e.target.UpdateBatchRange(j.batch, lo, hi)
-		j.done.Done()
+		if e.stats == nil {
+			e.errs[i] = e.target.UpdateBatchRange(j.batch, lo, hi)
+		} else {
+			started := time.Now()
+			e.errs[i] = e.target.UpdateBatchRange(j.batch, lo, hi)
+			e.stats.observeJob(i, j, started)
+		}
+		e.done.Done()
 	}
 }
 
@@ -87,19 +114,46 @@ func (e *Engine) Workers() int { return len(e.jobs) }
 // UpdateBatch applies the batch through the worker pool and blocks until
 // every shard has finished. On error the sketch state is unspecified (each
 // shard stops at its first failing edge); the first error by shard index is
-// returned.
+// returned. Concurrent calls are applied one batch at a time; after Close
+// every call returns ErrClosed.
 func (e *Engine) UpdateBatch(batch []graph.WeightedEdge) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	errs := make([]error, len(e.jobs))
-	var done sync.WaitGroup
-	done.Add(len(e.jobs))
-	for i := range e.jobs {
-		e.jobs[i] <- job{batch: batch, errs: errs, idx: i, done: &done}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dispatch(batch)
+}
+
+// dispatch fans one batch out to every worker and collects the per-shard
+// errors into the engine scratch. Callers hold e.mu.
+func (e *Engine) dispatch(batch []graph.WeightedEdge) error {
+	if e.closed {
+		return ErrClosed
 	}
-	done.Wait()
-	for _, err := range errs {
+	j := job{batch: batch}
+	if e.stats != nil {
+		j.enqueued = time.Now()
+	}
+	for i := range e.errs {
+		e.errs[i] = nil
+	}
+	e.done.Add(len(e.jobs))
+	for i := range e.jobs {
+		e.jobs[i] <- j
+	}
+	if e.stats != nil {
+		// Count shard ownership while the workers run; the dispatcher
+		// would only be blocked on done.Wait otherwise.
+		e.stats.countOwned(batch, e.bounds)
+	}
+	e.done.Wait()
+	if e.stats != nil {
+		em.batchLatency.Observe(time.Since(j.enqueued).Seconds())
+		em.batches.Inc()
+		em.updates.Add(int64(len(batch)))
+	}
+	for _, err := range e.errs {
 		if err != nil {
 			return err
 		}
@@ -111,30 +165,48 @@ func (e *Engine) UpdateBatch(batch []graph.WeightedEdge) error {
 // single-writer-per-vertex invariant holds even when Update and UpdateBatch
 // calls are mixed. For high-rate streams prefer UpdateBatch or Consume.
 func (e *Engine) Update(ed graph.Hyperedge, delta int64) error {
-	return e.UpdateBatch([]graph.WeightedEdge{{E: ed, W: delta}})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.one[0] = graph.WeightedEdge{E: ed, W: delta}
+	return e.dispatch(e.one[:])
 }
 
 // Consume feeds an entire stream through the pool in batches of batchSize
-// (<= 0 means DefaultBatchSize).
+// (<= 0 means DefaultBatchSize). Consumed update and deletion counts feed
+// the stream ingestion counters (updates/sec and the deletions fraction
+// are derived by the scraper).
 func (e *Engine) Consume(st stream.Stream, batchSize int) error {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
 	buf := make([]graph.WeightedEdge, 0, batchSize)
+	dels := 0
 	for _, u := range st {
+		if u.Op == stream.Delete {
+			dels++
+		}
 		buf = append(buf, graph.WeightedEdge{E: u.Edge, W: int64(u.Op)})
 		if len(buf) == batchSize {
 			if err := e.UpdateBatch(buf); err != nil {
 				return err
 			}
-			buf = buf[:0]
+			stream.Record(len(buf)-dels, dels)
+			buf, dels = buf[:0], 0
 		}
 	}
-	return e.UpdateBatch(buf)
+	if err := e.UpdateBatch(buf); err != nil {
+		return err
+	}
+	stream.Record(len(buf)-dels, dels)
+	return nil
 }
 
-// Close shuts the worker pool down and waits for the workers to exit.
+// Close shuts the worker pool down and waits for the workers to exit. It
+// is idempotent and safe to call concurrently with in-flight updates: the
+// running batch completes first, and later updates return ErrClosed.
 func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
 		return
 	}

@@ -1,0 +1,169 @@
+package engine_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"graphsketch/internal/engine"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/obs"
+	"graphsketch/internal/sketch"
+)
+
+// TestCloseConcurrentWithFailedBatch exercises the Close synchronization
+// under -race: goroutines hammer UpdateBatch with a batch that fails in
+// every shard while two other goroutines race Close against them and each
+// other. No call may panic (send on closed channel) and every update must
+// return an error — the shard failure before Close wins the race, ErrClosed
+// after.
+func TestCloseConcurrentWithFailedBatch(t *testing.T) {
+	const n = 8
+	sp, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(sp, engine.Options{Workers: 3})
+	bad := []graph.WeightedEdge{{E: graph.Hyperedge{0, n + 5}, W: 1}}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				if err := eng.UpdateBatch(bad); err == nil {
+					t.Error("failing batch returned nil error")
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			eng.Close()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if err := eng.UpdateBatch(bad); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("UpdateBatch after Close: got %v, want ErrClosed", err)
+	}
+	if err := eng.Update(graph.MustEdge(0, 1), 1); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("Update after Close: got %v, want ErrClosed", err)
+	}
+	eng.Close() // still idempotent
+}
+
+// TestUpdateBatchZeroAllocs pins the reused dispatch scratch: with obs
+// disabled, a steady-state UpdateBatch (warmed sampler levels, balanced
+// insert/delete batch) must not allocate — neither the old per-call errs
+// slice and WaitGroup, nor anything on the worker side.
+func TestUpdateBatchZeroAllocs(t *testing.T) {
+	const n = 16
+	sp, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(sp, engine.Options{Workers: 4})
+	defer eng.Close()
+
+	var batch []graph.WeightedEdge
+	for v := 1; v < n; v++ {
+		e := graph.MustEdge(0, v)
+		batch = append(batch,
+			graph.WeightedEdge{E: e, W: 1},
+			graph.WeightedEdge{E: e, W: -1})
+	}
+	// Warm up: materialize every lazily allocated sampler level and the
+	// runtime's channel-wait scratch.
+	for i := 0; i < 10; i++ {
+		if err := eng.UpdateBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.UpdateBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("UpdateBatch allocates %.1f objects per run; want 0", allocs)
+	}
+}
+
+// TestShardSkewMetrics checks the skew-detection pair on a pathological
+// star graph: every edge is incident to vertex 0, so shard 0 owns every
+// edge while the other shards split the far endpoints. The per-shard edge
+// counters must show the exact imbalance and shard 0's busy-time gauge must
+// dominate.
+func TestShardSkewMetrics(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	const n, workers = 64, 4
+	sp, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(sp, engine.Options{Workers: workers})
+	defer eng.Close()
+
+	r := obs.Default()
+	edges := make([]*obs.Counter, workers)
+	busy := make([]*obs.Gauge, workers)
+	edgesBefore := make([]int64, workers)
+	busyBefore := make([]float64, workers)
+	for i := 0; i < workers; i++ {
+		shard := string(rune('0' + i))
+		edges[i] = r.Counter("engine_shard_edges_total", "", "shard", shard)
+		busy[i] = r.Gauge("engine_shard_busy_seconds", "", "shard", shard)
+		edgesBefore[i] = edges[i].Value()
+		busyBefore[i] = busy[i].Value()
+	}
+
+	// Star batch: {0, v} for v in the other three shards' ranges [16, 64).
+	var batch []graph.WeightedEdge
+	for v := n / workers; v < n; v++ {
+		batch = append(batch, graph.WeightedEdge{E: graph.MustEdge(0, v), W: 1})
+	}
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		if err := eng.UpdateBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hub := edges[0].Value() - edgesBefore[0]
+	if want := int64(reps * len(batch)); hub != want {
+		t.Fatalf("hub shard owned %d edges, want all %d", hub, want)
+	}
+	hubBusy := busy[0].Value() - busyBefore[0]
+	if hubBusy <= 0 {
+		t.Fatal("hub shard busy-time gauge did not advance")
+	}
+	for i := 1; i < workers; i++ {
+		spoke := edges[i].Value() - edgesBefore[i]
+		if want := int64(reps * len(batch) / (workers - 1)); spoke != want {
+			t.Fatalf("spoke shard %d owned %d edges, want %d", i, spoke, want)
+		}
+		if spokeBusy := busy[i].Value() - busyBefore[i]; spokeBusy >= hubBusy {
+			t.Errorf("star skew not visible: shard %d busy %.3gs >= hub busy %.3gs",
+				i, spokeBusy, hubBusy)
+		}
+	}
+
+	// The engine-level families advanced too.
+	if got := r.Counter("engine_batches_total", "").Value(); got == 0 {
+		t.Error("engine_batches_total did not advance")
+	}
+	if got := r.Histogram("engine_batch_latency_seconds", "", nil).Count(); got == 0 {
+		t.Error("engine_batch_latency_seconds recorded nothing")
+	}
+}

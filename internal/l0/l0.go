@@ -177,6 +177,7 @@ func (s *Sampler) IsZero() bool {
 // fingerprint collision probability (~2^-40) it is a true element of the
 // support with its true value.
 func (s *Sampler) Sample() (idx uint64, val int64, ok bool) {
+	lm.draws.Inc()
 	// Scan from the sparsest level down; the first decodable level with
 	// nonempty support yields the sample.
 	for lv := len(s.levels) - 1; lv >= 0; lv-- {
@@ -187,6 +188,7 @@ func (s *Sampler) Sample() (idx uint64, val int64, ok bool) {
 		if !decoded {
 			// This level is too dense; all sparser levels were empty,
 			// so the support-size transition skipped the window.
+			lm.failures.Inc()
 			return 0, 0, false
 		}
 		if len(vec) == 0 {
@@ -201,8 +203,10 @@ func (s *Sampler) Sample() (idx uint64, val int64, ok bool) {
 				best = i
 			}
 		}
+		lm.successes.Inc()
 		return best, vec[best], true
 	}
+	lm.empties.Inc()
 	return 0, 0, false // genuinely empty support
 }
 

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// fmtFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with +Inf spelled out.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels appends extra to an existing {k="v"} label-set string.
+func mergeLabels(ls, extra string) string {
+	if ls == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(ls, "}") + "," + extra + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). A nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		series := make(map[string]any, len(order))
+		for _, ls := range order {
+			series[ls] = f.series[ls]
+		}
+		f.mu.Unlock()
+		for _, ls := range order {
+			var err error
+			switch m := series[ls].(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, ls, m.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fmtFloat(m.Value()))
+			case *Histogram:
+				cum := uint64(0)
+				for i, bound := range append(m.bounds, math.Inf(+1)) {
+					cum += m.counts[i].Load()
+					le := mergeLabels(ls, `le=`+strconv.Quote(fmtFloat(bound)))
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, fmtFloat(m.Sum())); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, m.Count())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry as a single JSON object in the expvar
+// spirit: "name{labels}" keys map to numbers for counters and gauges, and
+// to {"count", "sum", "buckets"} objects for histograms. A nil registry
+// renders {}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, f := range r.snapshot() {
+		f.mu.Lock()
+		for ls, m := range f.series {
+			key := f.name + ls
+			switch m := m.(type) {
+			case *Counter:
+				out[key] = m.Value()
+			case *Gauge:
+				out[key] = m.Value()
+			case *Histogram:
+				buckets := make(map[string]uint64, len(m.bounds)+1)
+				for i, bound := range append(m.bounds, math.Inf(+1)) {
+					buckets[fmtFloat(bound)] = m.counts[i].Load()
+				}
+				out[key] = map[string]any{
+					"count":   m.Count(),
+					"sum":     m.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+		f.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Handler returns the observability endpoints for a registry:
+//
+//	/metrics        Prometheus text format
+//	/debug/vars     the same registry as JSON (expvar convention)
+//	/debug/pprof/   the standard runtime profiles
+//	/healthz        liveness probe
+//
+// The pprof handlers are mounted explicitly (not via the net/http/pprof
+// side-effect import) so binaries never expose them on the default mux by
+// accident.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve enables collection if needed and serves Handler(global registry)
+// on addr in a background goroutine, returning the bound address (useful
+// with ":0"). The listener runs for the life of the process.
+func Serve(addr string) (string, error) {
+	Enable()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	h := Handler(global)
+	go func() {
+		if err := http.Serve(ln, h); err != nil {
+			Logger().Error("obs: http server stopped", "err", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Setup is the one-call wiring behind a binary's -obs-addr flag: it
+// enables collection, points the shared logger at stderr (text handler,
+// Info level) if it is still the discard default, and — when addr is
+// non-empty — serves the endpoints on addr. It returns the bound address,
+// or "" when not serving.
+func Setup(addr string) (string, error) {
+	Enable()
+	if Logger().Handler() == slog.DiscardHandler {
+		SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo})))
+	}
+	if addr == "" {
+		return "", nil
+	}
+	return Serve(addr)
+}

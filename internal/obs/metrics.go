@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. All methods are
+// no-ops on a nil receiver, so disabled call sites cost one branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down (busy-time
+// accumulators, in-flight counts, fractions). Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds v with a CAS loop.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: buckets are ascending upper
+// bounds, with an implicit +Inf bucket at the end. Observe is lock-free
+// (one atomic add into the bucket, one into the count, a CAS for the sum)
+// and allocation-free. Nil-safe like Counter.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bucket counts are small (≲ 16); a linear scan beats binary search.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// LatencyBuckets is the default latency bucket ladder in seconds:
+// 25µs to ~100s, quadrupling.
+func LatencyBuckets() []float64 {
+	return []float64{25e-6, 100e-6, 400e-6, 1.6e-3, 6.4e-3, 25.6e-3, 0.1, 0.4, 1.6, 6.4, 25.6, 102.4}
+}
+
+// CountBuckets is a doubling ladder 1, 2, 4, …, 2^(n-1) for small count
+// distributions (peel rounds, retries).
+func CountBuckets(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(uint64(1) << i)
+	}
+	return b
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: a help string, a kind, and the labeled series
+// registered under it.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	order  []string       // label-set strings, registration order
+	series map[string]any // label-set string → *Counter/*Gauge/*Histogram
+}
+
+// Registry holds named metric families. Registration is idempotent:
+// requesting an existing (name, labels) pair returns the existing metric,
+// so package hooks and repeated constructions share series. All methods
+// are nil-safe and return nil handles on a nil receiver.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders alternating key/value pairs as {k="v",...}; empty for
+// no labels. Keys keep their given order (call sites are consistent).
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds,
+			series: make(map[string]any)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) get(ls string, make func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[ls]; ok {
+		return m
+	}
+	m := make()
+	f.series[ls] = m
+	f.order = append(f.order, ls)
+	return m
+}
+
+// Counter returns (registering if needed) the counter for name with the
+// given alternating label key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindCounter, nil)
+	return f.get(labelString(labels), func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns (registering if needed) the gauge for name/labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindGauge, nil)
+	return f.get(labelString(labels), func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns (registering if needed) the histogram for name/labels.
+// buckets are ascending upper bounds; they are fixed by the first
+// registration of the family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets()
+	}
+	f := r.lookup(name, help, kindHistogram, buckets)
+	return f.get(labelString(labels), func() any {
+		return &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}).(*Histogram)
+}
+
+// snapshot returns the families sorted by name, each with its series in
+// registration order, for the exporters.
+func (r *Registry) snapshot() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

@@ -1,0 +1,113 @@
+// Package obs is the repository's streaming telemetry layer: a
+// zero-dependency metrics registry (atomic counters, gauges, and
+// fixed-bucket histograms), a Prometheus-text + JSON exporter with
+// net/http/pprof wiring, a lightweight Span tracer that logs slow decode
+// phases, and a shared structured logger (log/slog).
+//
+// # Enable-before-measure model
+//
+// Collection is off by default and every instrumented hot path is a
+// nil-handle no-op: packages hold possibly-nil *Counter/*Gauge/*Histogram
+// handles whose methods return immediately on nil receivers, so a disabled
+// process pays one predicted branch per metric site and allocates nothing.
+// Calling Enable (usually via Setup from a binary's -obs-addr flag) flips
+// the process into collecting mode by invoking every registered OnEnable
+// hook with the global Registry; the hooks populate the package-level
+// handles. Enable before constructing engines and sketches — per-instance
+// metrics (the engine's per-shard counters) are bound at construction time.
+//
+// The probabilistic counters double as correctness signals: the paper's
+// guarantees (L0 sampler success, s-sparse certification, skeleton peel
+// rounds — Thm 2/13/14) are "with high probability", so a rising
+// l0_sampler_failure_total or recovery_decode_failure_total on a live
+// stream means the configured sampler shapes are too small for the
+// workload, the same failure-rate accounting hybrid sketching systems use
+// to decide when to fall back.
+package obs
+
+import (
+	"sync"
+)
+
+var (
+	stateMu sync.Mutex
+	on      bool
+	hooks   []func(*Registry)
+
+	// global is the process-wide registry behind Default. It always
+	// exists; Enabled gates whether Default hands it out.
+	global = NewRegistry()
+)
+
+// Enabled reports whether collection is on.
+func Enabled() bool {
+	stateMu.Lock()
+	defer stateMu.Unlock()
+	return on
+}
+
+// Default returns the process-wide registry when collection is enabled and
+// nil otherwise. All Registry methods are nil-safe and return nil metric
+// handles, whose methods are in turn nil-safe no-ops — the "nil-registry
+// fast path" the disabled mode relies on.
+func Default() *Registry {
+	stateMu.Lock()
+	defer stateMu.Unlock()
+	if !on {
+		return nil
+	}
+	return global
+}
+
+// OnEnable registers a hook that binds a package's metric handles against a
+// registry. The hook runs on every Enable (with the global registry) and
+// every Disable (with nil, resetting the handles to the no-op fast path);
+// if collection is already enabled when OnEnable is called, the hook runs
+// immediately. Instrumented packages call this from init.
+func OnEnable(hook func(*Registry)) {
+	stateMu.Lock()
+	hooks = append(hooks, hook)
+	enabled := on
+	stateMu.Unlock()
+	if enabled {
+		hook(global)
+	}
+}
+
+// Enable turns collection on and runs every registered hook against the
+// global registry. It is idempotent. Call it before constructing the
+// engines and sketches whose per-instance metrics should be bound.
+func Enable() {
+	stateMu.Lock()
+	if on {
+		stateMu.Unlock()
+		return
+	}
+	on = true
+	hs := make([]func(*Registry), len(hooks))
+	copy(hs, hooks)
+	stateMu.Unlock()
+	for _, h := range hs {
+		h(global)
+	}
+}
+
+// Disable turns collection off and re-runs every hook with a nil registry,
+// restoring the nil-handle fast path. Existing metric values remain in the
+// global registry (and reappear on the next Enable, which re-binds the same
+// families). Intended for benchmarks and tests that compare the enabled and
+// disabled paths inside one process.
+func Disable() {
+	stateMu.Lock()
+	if !on {
+		stateMu.Unlock()
+		return
+	}
+	on = false
+	hs := make([]func(*Registry), len(hooks))
+	copy(hs, hooks)
+	stateMu.Unlock()
+	for _, h := range hs {
+		h(nil)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// logv holds the shared structured logger. The default discards, so
+// library code can log unconditionally without spamming binaries that
+// never opted in.
+var logv atomic.Pointer[slog.Logger]
+
+func init() {
+	logv.Store(slog.New(slog.DiscardHandler))
+}
+
+// Logger returns the shared package-level logger.
+func Logger() *slog.Logger { return logv.Load() }
+
+// SetLogger replaces the shared logger (nil restores the discard default).
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	logv.Store(l)
+}
+
+// slowSpanNanos is the duration above which a finished Span is logged at
+// Warn level; see SetSlowSpanThreshold.
+var slowSpanNanos atomic.Int64
+
+func init() {
+	slowSpanNanos.Store(int64(250 * time.Millisecond))
+}
+
+// SetSlowSpanThreshold sets the duration above which finished spans are
+// logged as slow (default 250ms). Zero or negative logs every span.
+func SetSlowSpanThreshold(d time.Duration) { slowSpanNanos.Store(int64(d)) }
+
+// Span is a lightweight trace span for a decode phase. Obtain one with
+// StartSpan; it is nil when collection is disabled, and every method is a
+// nil-safe no-op, so instrumented phases cost one branch when off.
+type Span struct {
+	name  string
+	start time.Time
+	hist  *Histogram
+}
+
+// StartSpan begins a span. hist, when non-nil, receives the duration in
+// seconds at End; pass nil for log-only spans. Returns nil (a no-op span)
+// when collection is disabled.
+func StartSpan(name string, hist *Histogram) *Span {
+	if !Enabled() {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), hist: hist}
+}
+
+// End finishes the span: it records the duration into the span's
+// histogram and logs the span at Warn level when it exceeded the slow-span
+// threshold (with the given extra slog attrs). It returns the duration (0
+// on a nil span).
+func (sp *Span) End(attrs ...any) time.Duration {
+	if sp == nil {
+		return 0
+	}
+	d := time.Since(sp.start)
+	sp.hist.Observe(d.Seconds())
+	if d >= time.Duration(slowSpanNanos.Load()) {
+		args := make([]any, 0, 4+len(attrs))
+		args = append(args, "span", sp.name, "duration", d)
+		args = append(args, attrs...)
+		Logger().Warn("slow span", args...)
+	}
+	return d
+}

@@ -1,0 +1,27 @@
+package recovery
+
+import "graphsketch/internal/obs"
+
+// Recovery-health counters. A 1-sparse fingerprint reject is a cell whose
+// moment/count ratio produced a candidate index but the fingerprint did not
+// certify it — a collision of several coordinates masquerading as one. An
+// s-sparse certification failure is a full Decode that finished peeling
+// with nonzero residue: the vector was denser than the design sparsity (or
+// the hashing was unlucky), and the decode was refused rather than
+// returned wrong.
+var rm struct {
+	fpRejects *obs.Counter // recovery_onesparse_fp_rejects_total
+	successes *obs.Counter // recovery_ssparse_decode_success_total
+	failures  *obs.Counter // recovery_ssparse_decode_failure_total
+}
+
+func init() {
+	obs.OnEnable(func(r *obs.Registry) {
+		rm.fpRejects = r.Counter("recovery_onesparse_fp_rejects_total",
+			"1-sparse cells whose candidate index failed fingerprint certification")
+		rm.successes = r.Counter("recovery_ssparse_decode_success_total",
+			"s-sparse decodes that peeled to zero and certified")
+		rm.failures = r.Counter("recovery_ssparse_decode_failure_total",
+			"s-sparse decodes refused with nonzero residue (vector denser than s)")
+	})
+}

@@ -163,11 +163,13 @@ func (c *OneSparse) Decode() (i uint64, v int64, ok bool) {
 	}
 	idx := field.Mul(c.mom, field.Inv(f))
 	if uint64(idx) >= c.dom {
+		rm.fpRejects.Inc()
 		return 0, 0, false
 	}
 	// Verify: a 1-sparse vector with value count at idx has fingerprint
 	// count * z^idx.
 	if field.Mul(f, field.Pow(c.z, uint64(idx))) != c.fp {
+		rm.fpRejects.Inc()
 		return 0, 0, false
 	}
 	return uint64(idx), c.count, true

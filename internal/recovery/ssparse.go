@@ -402,6 +402,7 @@ func (t *SSparse) Decode() (map[uint64]int64, bool) {
 		}
 	}
 	if !work.allZero() {
+		rm.failures.Inc()
 		return nil, false
 	}
 	for i, v := range out {
@@ -409,6 +410,7 @@ func (t *SSparse) Decode() (map[uint64]int64, bool) {
 			delete(out, i)
 		}
 	}
+	rm.successes.Inc()
 	return out, true
 }
 
@@ -426,11 +428,13 @@ func decodeCell(count int64, mom, fp, z field.Elem, dom uint64) (i uint64, v int
 	}
 	idx := field.Mul(mom, field.Inv(f))
 	if uint64(idx) >= dom {
+		rm.fpRejects.Inc()
 		return 0, 0, false
 	}
 	// Verify: a 1-sparse vector with value count at idx has fingerprint
 	// count * z^idx.
 	if field.Mul(f, field.Pow(z, uint64(idx))) != fp {
+		rm.fpRejects.Inc()
 		return 0, 0, false
 	}
 	return uint64(idx), count, true

@@ -6,6 +6,7 @@ import (
 	"graphsketch"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashutil"
+	"graphsketch/internal/obs"
 )
 
 // SkeletonSketch is the paper's Theorem 14 structure: k independent
@@ -161,6 +162,8 @@ func (s *SkeletonSketch) Clone() *SkeletonSketch {
 // forests F_1 ∪ … ∪ F_k where F_i spans G − F_1 − … − F_{i−1}. Layer i's
 // sketch is peeled by linear subtraction of the already-decoded forests.
 func (s *SkeletonSketch) Skeleton() (*graph.Hypergraph, error) {
+	sp := obs.StartSpan("sketch.skeleton", skm.skelSpan)
+	defer sp.End("k", s.k, "n", s.dom.N())
 	skeleton := graph.MustHypergraph(s.dom.N(), s.dom.R())
 	var forests []*graph.Hypergraph
 	for i, layer := range s.layers {

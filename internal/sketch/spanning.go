@@ -25,6 +25,7 @@ import (
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/hashutil"
 	"graphsketch/internal/l0"
+	"graphsketch/internal/obs"
 )
 
 // SpanningConfig controls a spanning-graph sketch.
@@ -231,6 +232,7 @@ func (s *SpanningSketch) Clone() *SpanningSketch {
 // component both fails to produce a sample and cannot be certified as
 // fully merged; every returned edge is fingerprint-certified real.
 func (s *SpanningSketch) SpanningGraph() (*graph.Hypergraph, error) {
+	sp := obs.StartSpan("sketch.spanning_graph", skm.spanSpan)
 	n := s.dom.N()
 	forest := graph.MustHypergraph(n, s.dom.R())
 	d := graphalg.NewDSU(n)
@@ -247,6 +249,8 @@ func (s *SpanningSketch) SpanningGraph() (*graph.Hypergraph, error) {
 			}
 		}
 		if active <= 1 {
+			skm.peelRounds.Observe(float64(t))
+			sp.End("n", n, "rounds", t)
 			return forest, nil
 		}
 		type found struct{ e graph.Hyperedge }
@@ -293,10 +297,13 @@ func (s *SpanningSketch) SpanningGraph() (*graph.Hypergraph, error) {
 		}
 		sum := s.sumComponent(s.cfg.Rounds-1, members)
 		if !sum.IsZero() {
+			skm.failures.Inc()
 			return nil, ErrDecodeFailed
 		}
 		_ = root
 	}
+	skm.peelRounds.Observe(float64(s.cfg.Rounds))
+	sp.End("n", n, "rounds", s.cfg.Rounds)
 	return forest, nil
 }
 

@@ -1,0 +1,32 @@
+package stream
+
+import "graphsketch/internal/obs"
+
+// Stream consumption counters: total updates plus the insert/delete split,
+// from which a scraper derives updates/sec and the deletions fraction. The
+// handles are nil while collection is disabled, making Record a no-op.
+var sm struct {
+	updates *obs.Counter // stream_updates_total
+	inserts *obs.Counter // stream_inserts_total
+	deletes *obs.Counter // stream_deletes_total
+}
+
+func init() {
+	obs.OnEnable(func(r *obs.Registry) {
+		sm.updates = r.Counter("stream_updates_total",
+			"Stream updates consumed (inserts + deletes)")
+		sm.inserts = r.Counter("stream_inserts_total",
+			"Stream insert updates consumed")
+		sm.deletes = r.Counter("stream_deletes_total",
+			"Stream delete updates consumed")
+	})
+}
+
+// Record adds a consumed chunk to the stream ingestion counters. Apply
+// records automatically; sinks that consume streams without going through
+// Apply (the parallel engine's Consume) call it once per batch.
+func Record(inserts, deletes int) {
+	sm.updates.Add(int64(inserts + deletes))
+	sm.inserts.Add(int64(inserts))
+	sm.deletes.Add(int64(deletes))
+}
