@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fmt-check ci
+.PHONY: all build vet test race bench bench-json codec-check fmt-check ci
 
 # Benchmark knobs for bench-json: runs to average and time per run.
 # CI smoke uses BENCHTIME=1x; real measurements want the defaults or more.
@@ -32,11 +32,21 @@ bench:
 # shows the <= 5% enabled overhead). Raise BENCHCOUNT (e.g. 5) for stable
 # numbers.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel)' -benchmem \
+	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint)' -benchmem \
 		-count $(BENCHCOUNT) -benchtime $(BENCHTIME) . \
-	| $(GO) run ./cmd/benchjson -out BENCH_pr3.json \
-		-baseline BENCH_pr2.json \
-		-label "PR3 telemetry layer (count=$(BENCHCOUNT))"
+	| $(GO) run ./cmd/benchjson -out BENCH_pr4.json \
+		-baseline BENCH_pr3.json \
+		-label "PR4 versioned wire codec (count=$(BENCHCOUNT))"
+
+# Wire-format gate: the codec corruption/round-trip suite and the root
+# checkpoint conformance harness under the race detector, plus a fuzz smoke
+# of both codec targets (go test accepts one -fuzz pattern per run, hence
+# two invocations).
+codec-check:
+	$(GO) test -race ./internal/codec/ ./internal/cli/
+	$(GO) test -race -run 'TestCheckpoint' .
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/codec/
+	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime 10s ./internal/codec/
 
 # Race-enabled run of the concurrency-sensitive packages plus the obs
 # endpoint smoke test — the fast loop CI runs on every push (race over the
@@ -49,4 +59,4 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build test race bench
+ci: fmt-check vet build test race codec-check bench

@@ -2,6 +2,7 @@ package graphsketch
 
 import (
 	"errors"
+	"io"
 
 	"graphsketch/internal/graph"
 )
@@ -45,10 +46,16 @@ type Mergeable interface {
 //     aggregation).
 //   - Words reports the memory footprint in 64-bit words (the paper's space
 //     measure).
-//   - Marshal serializes the sketch contents for checkpointing; parameters
-//     and seeds are the structure's identity and are NOT serialized —
-//     restore by calling Unmarshal (where offered) on an
-//     identically-constructed instance.
+//   - Marshal emits the raw, unversioned state bytes — the legacy escape
+//     hatch. WARNING: raw state carries no identity: parameters and seeds
+//     are NOT serialized, there is no version, checksum, or mismatch
+//     detection, and bytes fed to Unmarshal on a differently-constructed
+//     instance silently decode to garbage. Durable or transported state
+//     should use the framed format instead: Checkpointer (WriteTo/ReadFrom)
+//     and codec.Open wrap exactly these bytes in a self-describing,
+//     checksummed envelope that verifies identity before merging. Marshal
+//     remains useful in-process, where both endpoints are known to share
+//     construction — it is the compact interior of a checkpoint frame.
 type Sketch interface {
 	Updater
 	Mergeable
@@ -59,8 +66,30 @@ type Sketch interface {
 // Unmarshaler restores (by linear addition) sketch contents produced by
 // Marshal on an identically-constructed sketch. Calling it on a non-empty
 // sketch adds the two states, which is itself meaningful by linearity.
+// The same no-identity warning as Marshal applies; prefer Checkpointer.
 type Unmarshaler interface {
 	Unmarshal(data []byte) error
+}
+
+// Checkpointer is a Sketch that can durably checkpoint and restore itself
+// through the versioned wire format (internal/codec). WriteTo emits one
+// self-describing frame: magic, format version, structure type tag,
+// params+seed identity fingerprint, the construction parameters themselves,
+// the Marshal state, and a checksum. ReadFrom reads such a frame back,
+// verifying that the frame's fingerprint matches the receiver's before
+// merging the state linearly (an exact restore when the receiver is fresh);
+// a frame from a differently-constructed sketch fails with
+// codec.ErrFingerprint instead of silently mis-merging.
+//
+// Because checkpoint frames embed their parameters, codec.Open can
+// reconstruct the sketch from the frame alone — no out-of-band construction
+// — which is the intended restart path.
+//
+// All seven Sketch implementations satisfy Checkpointer.
+type Checkpointer interface {
+	Sketch
+	io.WriterTo
+	io.ReaderFrom
 }
 
 // Sharded is a Sketch whose state is partitioned by vertex: vertex v's share

@@ -6,9 +6,12 @@
 package graphsketch_test
 
 import (
+	"bytes"
+	"io"
 	"math/rand/v2"
 	"testing"
 
+	"graphsketch/internal/codec"
 	"graphsketch/internal/commsim"
 	"graphsketch/internal/core/edgeconn"
 	"graphsketch/internal/core/reconstruct"
@@ -360,4 +363,51 @@ func BenchmarkParallelDecode(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCheckpointWrite times emitting a framed checkpoint (params
+// encoding, state serialization, CRC) of an ingested k-skeleton — the write
+// half of the wire format added with the codec layer.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	const n, k = 64, 8
+	h := workload.MustHarary(n, k)
+	sk := sketch.NewSkeleton(3, h.Domain(), k, sketch.SpanningConfig{})
+	if err := sk.UpdateGraph(h, 1); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRead times the restart path: codec.Open reconstructs
+// the sketch from the frame alone (header verification, params decode,
+// construction, state merge).
+func BenchmarkCheckpointRead(b *testing.B) {
+	const n, k = 64, 8
+	h := workload.MustHarary(n, k)
+	sk := sketch.NewSkeleton(3, h.Domain(), k, sketch.SpanningConfig{})
+	if err := sk.UpdateGraph(h, 1); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	frame := buf.Bytes()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Open(bytes.NewReader(frame)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,210 @@
+// Checkpoint conformance harness: every Sketch implementation must survive
+// the interrupted-run drill — ingest half a dynamic stream, checkpoint
+// through the versioned wire format, reconstruct from the frame alone
+// (codec.Open, no out-of-band construction), finish the stream, and land on
+// byte-identical state versus an uninterrupted run. The same table drives
+// the cross-construction rejection check: a Lean-profile frame presented to
+// a Balanced-profile reader must fail with codec.ErrFingerprint, never
+// merge.
+package graphsketch_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"graphsketch"
+	"graphsketch/internal/codec"
+	"graphsketch/internal/core/edgeconn"
+	"graphsketch/internal/core/reconstruct"
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/plan"
+	"graphsketch/internal/sketch"
+	"graphsketch/internal/stream"
+	"graphsketch/internal/workload"
+)
+
+// checkpointCases builds each of the seven implementations under a given
+// profile; the Lean and Balanced variants of one case differ only in
+// construction parameters (never seed), which is exactly what the identity
+// fingerprint must distinguish.
+var checkpointCases = []struct {
+	name  string
+	build func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer
+}{
+	{"spanning", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		s, err := sketch.NewSpanningSketch(sketch.SpanningParams{
+			N: n, Rounds: plan.Spanning(n, prof).Rounds,
+			Sampler: plan.Spanning(n, prof).Sampler, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}},
+	{"skeleton", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		s, err := sketch.NewSkeletonSketch(sketch.SkeletonParams{
+			N: n, K: 2, Spanning: plan.Spanning(n, prof), Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}},
+	{"edgeconn", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		s, err := edgeconn.New(edgeconn.Params{
+			N: n, K: 3, Spanning: plan.Spanning(n, prof), Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}},
+	{"vertexconn", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		s, err := vertexconn.New(plan.VertexConnQuery(n, 2, 2, 7, prof))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}},
+	{"estimator", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		per := 24
+		if prof == plan.Lean {
+			per = 12
+		}
+		e, err := vertexconn.NewEstimator(vertexconn.EstimatorParams{
+			N: n, KMax: 4, Seed: 7,
+			SubgraphsAt: func(k int) int { return per * k },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}},
+	{"reconstruct", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		s, err := reconstruct.New(reconstruct.Params{
+			N: n, K: 2, Spanning: plan.Spanning(n, prof), Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}},
+	{"sparsify", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		s, err := sparsify.New(plan.Sparsify(n, 2, 0.5, 7, prof))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}},
+}
+
+// checkpointStream is a shared dynamic graph stream with churn (inserts and
+// deletes on both sides of the cut point).
+func checkpointStream(n int) stream.Stream {
+	rng := rand.New(rand.NewPCG(0xc4e7, 0x9001))
+	final := workload.ErdosRenyi(rng, n, 0.35)
+	churn := workload.ErdosRenyi(rng, n, 0.3)
+	return stream.WithChurn(final, churn, rng)
+}
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	const n = 12
+	st := checkpointStream(n)
+	half := len(st) / 2
+	for _, tc := range checkpointCases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Uninterrupted reference run.
+			full := tc.build(t, n, plan.Balanced)
+			if err := stream.Apply(st, full); err != nil {
+				t.Fatal(err)
+			}
+			// Interrupted run: half the stream, then a framed checkpoint.
+			first := tc.build(t, n, plan.Balanced)
+			if err := stream.Apply(st[:half], first); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			wrote, err := first.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wrote != int64(buf.Len()) {
+				t.Fatalf("WriteTo reported %d bytes, wrote %d", wrote, buf.Len())
+			}
+			// Restart: the frame alone reconstructs the sketch — no
+			// out-of-band parameters.
+			resumed, err := codec.Open(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := stream.Apply(st[half:], resumed); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resumed.Marshal(), full.Marshal()) {
+				t.Fatal("resumed state differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+func TestCheckpointReadFromResume(t *testing.T) {
+	// Same drill through the typed path: ReadFrom on a freshly constructed
+	// sketch (params from "flags") instead of codec.Open.
+	const n = 12
+	st := checkpointStream(n)
+	half := len(st) / 2
+	for _, tc := range checkpointCases {
+		t.Run(tc.name, func(t *testing.T) {
+			full := tc.build(t, n, plan.Balanced)
+			if err := stream.Apply(st, full); err != nil {
+				t.Fatal(err)
+			}
+			first := tc.build(t, n, plan.Balanced)
+			if err := stream.Apply(st[:half], first); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := first.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			resumed := tc.build(t, n, plan.Balanced)
+			if _, err := resumed.ReadFrom(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := stream.Apply(st[half:], resumed); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resumed.Marshal(), full.Marshal()) {
+				t.Fatal("resumed state differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+func TestCheckpointRejectsCrossConstruction(t *testing.T) {
+	// A Lean-profile frame presented to a Balanced-profile reader must be
+	// refused with the typed fingerprint error for every implementation —
+	// same seed, different parameters is precisely the silent-garbage case
+	// the raw Marshal/Unmarshal path cannot detect.
+	const n = 12
+	st := checkpointStream(n)
+	for _, tc := range checkpointCases {
+		t.Run(tc.name, func(t *testing.T) {
+			lean := tc.build(t, n, plan.Lean)
+			if err := stream.Apply(st[:len(st)/2], lean); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := lean.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			balanced := tc.build(t, n, plan.Balanced)
+			if _, err := balanced.ReadFrom(&buf); !errors.Is(err, codec.ErrFingerprint) {
+				t.Fatalf("cross-profile ReadFrom: got %v, want codec.ErrFingerprint", err)
+			}
+		})
+	}
+}

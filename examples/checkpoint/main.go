@@ -5,21 +5,27 @@
 // machines add* (sharded ingestion). This example demonstrates both on one
 // workload:
 //
-//  1. a stream consumer checkpoints mid-stream, "crashes", and a fresh
-//     process resumes from the checkpoint;
+//  1. a stream consumer checkpoints mid-stream through the versioned wire
+//     format (WriteTo emits one self-describing frame: magic, version, type
+//     tag, params+seed fingerprint, state, checksum), "crashes", and a
+//     fresh process resumes via codec.Open — the frame alone reconstructs
+//     the sketch, no out-of-band parameters;
 //
 //  2. the same stream is split across three "machines" whose states are
 //     merged by a coordinator — decoding the merged state gives exactly
-//     the single-machine answer.
+//     the single-machine answer. (In-process the raw State/AddState bytes
+//     suffice; anything durable or transported should be framed.)
 //
 //     go run ./examples/checkpoint
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"math/rand/v2"
 
+	"graphsketch/internal/codec"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
@@ -44,13 +50,23 @@ func main() {
 	if err := stream.Apply(st[:half], first); err != nil {
 		log.Fatal(err)
 	}
-	checkpoint := first.State()
-	fmt.Printf("checkpoint after %d updates: %d bytes\n", half, len(checkpoint))
-
-	resumed := sketch.NewSpanning(seed, dom, cfg) // a fresh process
-	if err := resumed.AddState(checkpoint); err != nil {
+	var checkpoint bytes.Buffer // stands in for a file on disk
+	if _, err := first.WriteTo(&checkpoint); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("checkpoint after %d updates: %d framed bytes (interior %d)\n",
+		half, checkpoint.Len(), len(first.State()))
+
+	// A fresh process: the frame is self-describing, so codec.Open
+	// reconstructs the sketch — parameters, seed, and state — and verifies
+	// the checksum and identity fingerprint along the way. A corrupted or
+	// differently-constructed frame fails with a typed codec error here
+	// instead of silently decoding to garbage.
+	opened, err := codec.Open(&checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed := opened.(*sketch.SpanningSketch)
 	if err := stream.Apply(st[half:], resumed); err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"graphsketch"
+	"graphsketch/internal/codec"
 	"graphsketch/internal/core/edgeconn"
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/core/sparsify"
@@ -44,6 +45,57 @@ func startObs(addr string, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "obs: serving http://%s/metrics\n", bound)
+	return nil
+}
+
+// checkpointFlags registers the shared -checkpoint/-restore flags on a
+// tool's flag set. Both move framed, self-describing codec checkpoints
+// (unlike the raw-state -save/-load pair, which needs identical flags on
+// both runs and detects nothing on mismatch).
+func checkpointFlags(fs *flag.FlagSet) (ckpt, restore *string) {
+	ckpt = fs.String("checkpoint", "",
+		"write a framed checkpoint of the sketch to this file after consuming the stream")
+	restore = fs.String("restore", "",
+		"reconstruct the sketch from a framed checkpoint file before consuming the stream (construction flags are ignored; the frame is self-describing)")
+	return ckpt, restore
+}
+
+// restoreSketch opens a framed checkpoint and reconstructs the sketch it
+// describes via codec.Open, asserting the tool's concrete type.
+func restoreSketch[T graphsketch.Sketch](path string, stderr io.Writer) (T, error) {
+	var zero T
+	f, err := os.Open(path)
+	if err != nil {
+		return zero, err
+	}
+	defer f.Close()
+	s, err := codec.Open(f)
+	if err != nil {
+		return zero, fmt.Errorf("restoring %s: %w", path, err)
+	}
+	t, ok := s.(T)
+	if !ok {
+		return zero, fmt.Errorf("checkpoint %s holds a %T, this tool wants %T", path, s, zero)
+	}
+	fmt.Fprintf(stderr, "restored sketch from %s\n", path)
+	return t, nil
+}
+
+// writeCheckpoint writes a framed checkpoint of the sketch to path and
+// reports the framed size on stderr.
+func writeCheckpoint(path string, s io.WriterTo, stderr io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := s.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "checkpoint: %d framed bytes written to %s\n", n, path)
 	return nil
 }
 
@@ -127,8 +179,9 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	query := fs.String("query", "", "comma-separated vertex set to test for disconnection")
 	estimate := fs.Bool("estimate", false, "estimate vertex connectivity (graphs only)")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
-	save := fs.String("save", "", "write the sketch state to this file after consuming the stream")
-	load := fs.String("load", "", "merge a previously saved sketch state before consuming the stream")
+	save := fs.String("save", "", "write the raw sketch state to this file after consuming the stream (legacy; prefer -checkpoint)")
+	load := fs.String("load", "", "merge a previously saved raw sketch state before consuming the stream (legacy; prefer -restore)")
+	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,8 +192,8 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
-	if *query == "" && !*estimate && *save == "" {
-		return errors.New("need -query, -estimate, or -save")
+	if *query == "" && !*estimate && *save == "" && *ckpt == "" {
+		return errors.New("need -query, -estimate, -save, or -checkpoint")
 	}
 
 	var p vertexconn.Params
@@ -157,7 +210,13 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			p = plan.VertexConnQuery(*n, *r, *k, *seed, prof)
 		}
 	}
-	s, err := vertexconn.New(p)
+	var s *vertexconn.Sketch
+	var err error
+	if *restore != "" {
+		s, err = restoreSketch[*vertexconn.Sketch](*restore, stderr)
+	} else {
+		s, err = vertexconn.New(p)
+	}
 	if err != nil {
 		return err
 	}
@@ -174,17 +233,29 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stats, err := stream.Summarize(st, *n, *r)
-	if err != nil {
+	if stats, err := stream.Summarize(st, *n, *r); err == nil {
+		fmt.Fprintf(stderr, "stream: %d updates (%d inserts, %d deletes); sketch: %d KiB over %d subgraphs\n",
+			stats.Updates, stats.Inserts, stats.Deletes, s.Words()*8/1024, s.Subgraphs())
+	} else if *restore != "" || *load != "" {
+		// A resumed stream suffix may delete edges inserted before the
+		// checkpoint, so the live-edge materialization can fail without
+		// anything being wrong — the sketch itself is linear and absorbed
+		// every update. Report counts only.
+		fmt.Fprintf(stderr, "stream: %d updates (resumed); sketch: %d KiB over %d subgraphs\n",
+			len(st), s.Words()*8/1024, s.Subgraphs())
+	} else {
 		return err
 	}
-	fmt.Fprintf(stderr, "stream: %d updates (%d inserts, %d deletes); sketch: %d KiB over %d subgraphs\n",
-		stats.Updates, stats.Inserts, stats.Deletes, s.Words()*8/1024, s.Subgraphs())
 	if *save != "" {
 		if err := os.WriteFile(*save, s.State(), 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "sketch state saved to %s\n", *save)
+	}
+	if *ckpt != "" {
+		if err := writeCheckpoint(*ckpt, s, stderr); err != nil {
+			return err
+		}
 	}
 
 	if *query != "" {
@@ -228,6 +299,7 @@ func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 	levels := fs.Int("levels", 0, "subsampling levels (0 = 3·log2 n)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -249,7 +321,13 @@ func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 		params = plan.Sparsify(*n, *r, *eps, *seed, prof)
 		params.Levels = *levels
 	}
-	s, err := sparsify.New(params)
+	var s *sparsify.Sketch
+	var err error
+	if *restore != "" {
+		s, err = restoreSketch[*sparsify.Sketch](*restore, stderr)
+	} else {
+		s, err = sparsify.New(params)
+	}
 	if err != nil {
 		return err
 	}
@@ -260,6 +338,11 @@ func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 	st, err := readAndApply(*file, stdin, s)
 	if err != nil {
 		return err
+	}
+	if *ckpt != "" {
+		if err := writeCheckpoint(*ckpt, s, stderr); err != nil {
+			return err
+		}
 	}
 	sp, err := s.Sparsifier()
 	if err != nil {
@@ -291,6 +374,7 @@ func RunReconstruct(args []string, stdin io.Reader, stdout, stderr io.Writer) er
 	seed := fs.Uint64("seed", 1, "random seed")
 	light := fs.Bool("light", false, "print light_k(G) even if reconstruction is incomplete")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -301,12 +385,23 @@ func RunReconstruct(args []string, stdin io.Reader, stdout, stderr io.Writer) er
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
-	s, err := reconstruct.New(reconstruct.Params{N: *n, R: *r, K: *k, Seed: *seed})
+	var s *reconstruct.Sketch
+	var err error
+	if *restore != "" {
+		s, err = restoreSketch[*reconstruct.Sketch](*restore, stderr)
+	} else {
+		s, err = reconstruct.New(reconstruct.Params{N: *n, R: *r, K: *k, Seed: *seed})
+	}
 	if err != nil {
 		return err
 	}
 	if _, err := readAndApply(*file, stdin, s); err != nil {
 		return err
+	}
+	if *ckpt != "" {
+		if err := writeCheckpoint(*ckpt, s, stderr); err != nil {
+			return err
+		}
 	}
 
 	var out *graph.Hypergraph
@@ -349,6 +444,7 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	st := fs.String("st", "", "report the s-t cut for this 'u,v' pair instead of the global min cut")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
+	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -359,13 +455,24 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
-	s, err := edgeconn.New(edgeconn.Params{N: *n, R: *r, K: *k, Seed: *seed})
+	var s *edgeconn.Sketch
+	var err error
+	if *restore != "" {
+		s, err = restoreSketch[*edgeconn.Sketch](*restore, stderr)
+	} else {
+		s, err = edgeconn.New(edgeconn.Params{N: *n, R: *r, K: *k, Seed: *seed})
+	}
 	if err != nil {
 		return err
 	}
 	updates, err := readAndApply(*file, stdin, s)
 	if err != nil {
 		return err
+	}
+	if *ckpt != "" {
+		if err := writeCheckpoint(*ckpt, s, stderr); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stderr, "stream: %d updates; sketch %d KiB (k=%d skeleton)\n",
 		len(updates), s.Words()*8/1024, *k)

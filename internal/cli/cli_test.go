@@ -2,11 +2,13 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"graphsketch/internal/codec"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -95,6 +97,128 @@ func TestRunVconnSaveLoad(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "DISCONNECTS") {
 		t.Fatalf("resumed query wrong: %q", out.String())
+	}
+}
+
+func TestRunVconnCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "vconn.ckpt")
+
+	// First half: a path 0-1-2, snapshotted as a framed checkpoint.
+	var out, errOut bytes.Buffer
+	if err := RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "24", "-checkpoint", ck},
+		strings.NewReader("+ 0 1\n+ 1 2\n"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "framed bytes written") {
+		t.Fatalf("stderr: %q", errOut.String())
+	}
+	// Second half restores from the frame alone (no -subgraphs needed) and
+	// extends to 0-1-2-3; vertex 1 is a cut vertex. The leading delete of a
+	// pre-checkpoint edge (an "orphan" from this half's point of view) must
+	// not trip the stats materialization — resumed suffixes do this.
+	out.Reset()
+	errOut.Reset()
+	if err := RunVconn([]string{"-n", "6", "-k", "1", "-restore", ck, "-query", "1"},
+		strings.NewReader("- 0 1\n+ 0 1\n+ 2 3\n"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DISCONNECTS") {
+		t.Fatalf("resumed query wrong: %q", out.String())
+	}
+}
+
+func TestRunEconnCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "econn.ckpt")
+	h := workload.Cycle(12)
+	st := stream.FromGraph(h)
+	first := streamText(t, h, st[:6])
+	second := streamText(t, h, st[6:])
+
+	var out, errOut bytes.Buffer
+	if err := RunEconn([]string{"-n", "12", "-k", "4", "-checkpoint", ck},
+		strings.NewReader(first), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := RunEconn([]string{"-n", "12", "-k", "4", "-restore", ck},
+		strings.NewReader(second), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "edge connectivity = 2") {
+		t.Fatalf("resumed λ(C12) output: %q", out.String())
+	}
+}
+
+func TestRunSparsifyCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "sparsify.ckpt")
+	h := workload.Cycle(10)
+	st := stream.FromGraph(h)
+	first := streamText(t, h, st[:5])
+	second := streamText(t, h, st[5:])
+
+	var out, errOut bytes.Buffer
+	if err := RunSparsify([]string{"-n", "10", "-K", "4", "-checkpoint", ck},
+		strings.NewReader(first), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := RunSparsify([]string{"-n", "10", "-K", "4", "-restore", ck},
+		strings.NewReader(second), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) != 10 {
+		t.Fatalf("resumed sparsifier lines = %d, want 10", len(lines))
+	}
+}
+
+func TestRunReconstructCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "reconstruct.ckpt")
+	g := workload.PaperExample()
+	st := stream.FromGraph(g)
+	half := len(st) / 2
+	first := streamText(t, g, st[:half])
+	second := streamText(t, g, st[half:])
+
+	var out, errOut bytes.Buffer
+	if err := RunReconstruct([]string{"-n", "8", "-k", "2", "-checkpoint", ck},
+		strings.NewReader(first), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := RunReconstruct([]string{"-n", "8", "-k", "2", "-restore", ck},
+		strings.NewReader(second), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) != g.EdgeCount() {
+		t.Fatalf("resumed reconstruct recovered %d edges, want %d", len(lines), g.EdgeCount())
+	}
+}
+
+func TestRestoreRejectsWrongToolAndGarbage(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "vconn.ckpt")
+	var out, errOut bytes.Buffer
+	if err := RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "24", "-checkpoint", ck},
+		strings.NewReader("+ 0 1\n"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// A vconn checkpoint opened by econn is a type mismatch, not a merge.
+	err := RunEconn([]string{"-n", "6", "-restore", ck}, strings.NewReader(""), &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "this tool wants") {
+		t.Fatalf("cross-tool restore: got %v", err)
+	}
+	// Garbage bytes are refused with the typed magic error.
+	bad := filepath.Join(dir, "garbage.bin")
+	if err := os.WriteFile(bad, []byte("this is not a codec frame, just prose long enough for a header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = RunVconn([]string{"-n", "6", "-restore", bad, "-estimate"}, strings.NewReader(""), &out, &errOut)
+	if !errors.Is(err, codec.ErrBadMagic) {
+		t.Fatalf("garbage restore: got %v, want codec.ErrBadMagic", err)
 	}
 }
 

@@ -1,0 +1,203 @@
+// Package codec defines the repository's versioned, self-describing wire
+// format: a framed binary envelope that turns the raw linear-sketch
+// serializations (internal/l0, internal/recovery — which stay exactly as
+// they are, as the compact frame interior) into durable, transportable
+// artifacts.
+//
+// Every frame is
+//
+//	offset size field
+//	0      4    magic "GSKF"
+//	4      2    format version (little-endian uint16; currently 1)
+//	6      1    kind (1 = checkpoint, 2 = vertex share)
+//	7      1    structure type tag (TagSpanning … TagBecker)
+//	8      8    identity fingerprint (little-endian uint64)
+//	16     8    payload length (little-endian uint64)
+//	24     …    payload
+//	24+n   4    CRC-32C (Castagnoli) over bytes [0, 24+n)
+//
+// The fingerprint is an FNV-1a hash of the structure's canonical
+// construction parameters, seed included (see Fingerprint). Two sketches
+// can absorb each other's frames iff their fingerprints agree — the frame
+// is rejected with ErrFingerprint otherwise, replacing the old silent
+// mis-merge between differently-constructed instances.
+//
+// A checkpoint frame's payload embeds the parameters themselves
+// (length-prefixed) ahead of the state bytes, so Open can reconstruct the
+// sketch from the frame alone, with no out-of-band construction. A share
+// frame's payload is the vertex index followed by the raw interior share
+// (the per-player message body of the simultaneous communication model);
+// parameters are the protocol's public randomness and are never shipped in
+// shares.
+//
+// The package has no dependencies outside the standard library and the
+// root graphsketch interfaces.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic identifies a graphsketch frame ("GSKF").
+var Magic = [4]byte{'G', 'S', 'K', 'F'}
+
+// Version is the current format version. Decoders accept exactly the
+// versions they know how to parse; see the versioning policy in
+// IMPLEMENTATION.md ("Wire format & checkpointing").
+const Version uint16 = 1
+
+// Kind discriminates what a frame carries.
+type Kind uint8
+
+const (
+	// KindCheckpoint frames carry parameters + full sketch state; Open
+	// reconstructs the sketch from such a frame alone.
+	KindCheckpoint Kind = 1
+	// KindShare frames carry one vertex's share (the simultaneous
+	// communication model's per-player message) without parameters.
+	KindShare Kind = 2
+)
+
+// Tag identifies the structure type inside a frame.
+type Tag uint8
+
+// One tag per serializable structure. Tags are wire format: never renumber.
+const (
+	TagSpanning   Tag = 1 // sketch.SpanningSketch
+	TagSkeleton   Tag = 2 // sketch.SkeletonSketch
+	TagEdgeConn   Tag = 3 // edgeconn.Sketch
+	TagVertexConn Tag = 4 // vertexconn.Sketch
+	TagEstimator  Tag = 5 // vertexconn.Estimator
+	TagReconstr   Tag = 6 // reconstruct.Sketch
+	TagSparsify   Tag = 7 // sparsify.Sketch
+	TagBecker     Tag = 8 // reconstruct.BeckerSketch (shares only)
+)
+
+// String names the tag for diagnostics.
+func (t Tag) String() string {
+	switch t {
+	case TagSpanning:
+		return "spanning"
+	case TagSkeleton:
+		return "skeleton"
+	case TagEdgeConn:
+		return "edgeconn"
+	case TagVertexConn:
+		return "vertexconn"
+	case TagEstimator:
+		return "vertexconn-estimator"
+	case TagReconstr:
+		return "reconstruct"
+	case TagSparsify:
+		return "sparsify"
+	case TagBecker:
+		return "becker"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(t))
+	}
+}
+
+// Header is a frame's envelope metadata.
+type Header struct {
+	Version     uint16
+	Kind        Kind
+	Tag         Tag
+	Fingerprint uint64
+}
+
+const (
+	headerLen = 24
+	crcLen    = 4
+	// FrameOverhead is the envelope cost of a frame in bytes: header plus
+	// trailing checksum. commsim uses it to report interior
+	// (paper-faithful) message sizes alongside framed totals.
+	FrameOverhead = headerLen + crcLen
+	// ShareOverhead is FrameOverhead plus the vertex index a share frame
+	// embeds in its payload.
+	ShareOverhead = FrameOverhead + 4
+	// maxSanePayload bounds a declared payload length so a corrupt or
+	// hostile header cannot demand an absurd allocation before truncation
+	// is detected. 1 GiB is orders of magnitude above any sketch here.
+	maxSanePayload = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends a complete frame for (h, payload) to dst.
+func AppendFrame(dst []byte, h Header, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, Magic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, Version)
+	dst = append(dst, byte(h.Kind), byte(h.Tag))
+	dst = binary.LittleEndian.AppendUint64(dst, h.Fingerprint)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// WriteFrame writes a complete frame to w and returns the bytes written.
+func WriteFrame(w io.Writer, h Header, payload []byte) (int64, error) {
+	buf := AppendFrame(make([]byte, 0, FrameOverhead+len(payload)), h, payload)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadFrame reads one frame from r, verifying magic, version, and checksum.
+// It returns the header, the payload, and the number of bytes consumed.
+// Errors are the package sentinels (possibly wrapped with detail).
+func ReadFrame(r io.Reader) (Header, []byte, int64, error) {
+	var hdr [headerLen]byte
+	n, err := io.ReadFull(r, hdr[:])
+	read := int64(n)
+	if err != nil {
+		return Header{}, nil, read, fmt.Errorf("codec: reading header: %w", ErrTruncated)
+	}
+	var h Header
+	if !bytes.Equal(hdr[:4], Magic[:]) {
+		return Header{}, nil, read, ErrBadMagic
+	}
+	h.Version = binary.LittleEndian.Uint16(hdr[4:6])
+	if h.Version != Version {
+		return Header{}, nil, read, fmt.Errorf("codec: format version %d (this build reads %d): %w", h.Version, Version, ErrVersion)
+	}
+	h.Kind = Kind(hdr[6])
+	h.Tag = Tag(hdr[7])
+	h.Fingerprint = binary.LittleEndian.Uint64(hdr[8:16])
+	plen := binary.LittleEndian.Uint64(hdr[16:24])
+	if plen > maxSanePayload {
+		return Header{}, nil, read, fmt.Errorf("codec: declared payload of %d bytes: %w", plen, ErrTruncated)
+	}
+	// Stream the payload+checksum in rather than trusting plen with one
+	// allocation: a lying length field then fails as ErrTruncated with
+	// memory bounded by the bytes actually present.
+	var body bytes.Buffer
+	m, err := io.CopyN(&body, r, int64(plen)+crcLen)
+	read += m
+	if err != nil {
+		return Header{}, nil, read, fmt.Errorf("codec: payload short by %d bytes: %w", int64(plen)+crcLen-m, ErrTruncated)
+	}
+	payload := body.Bytes()[:plen]
+	wantSum := binary.LittleEndian.Uint32(body.Bytes()[plen:])
+	sum := crc32.Checksum(hdr[:], castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	if sum != wantSum {
+		return Header{}, nil, read, ErrChecksum
+	}
+	return h, payload, read, nil
+}
+
+// DecodeFrame reads one frame from the front of b and additionally returns
+// the remaining bytes, for composing frames into larger messages.
+func DecodeFrame(b []byte) (Header, []byte, []byte, error) {
+	rd := bytes.NewReader(b)
+	h, payload, n, err := ReadFrame(rd)
+	if err != nil {
+		return Header{}, nil, nil, err
+	}
+	return h, payload, b[n:], nil
+}

@@ -1,0 +1,49 @@
+package codec
+
+import (
+	"graphsketch/internal/obs"
+)
+
+// codecMetrics is the package's obs handle bundle. Handles are nil until
+// collection is enabled, and every obs method is a no-op on a nil receiver,
+// so disabled call sites cost one branch.
+type codecMetrics struct {
+	ckptWrites       *obs.Counter
+	ckptWriteBytes   *obs.Counter
+	ckptWriteSeconds *obs.Histogram
+	ckptReads        *obs.Counter
+	ckptReadBytes    *obs.Counter
+	ckptReadSeconds  *obs.Histogram
+	shareFrames      *obs.Counter
+	rejections       *obs.Counter
+}
+
+// reject records a decode rejection (any typed sentinel path).
+func (m *codecMetrics) reject(err error) {
+	if IsDecodeError(err) {
+		m.rejections.Inc()
+	}
+}
+
+var cdm codecMetrics
+
+func init() {
+	obs.OnEnable(func(r *obs.Registry) {
+		cdm.ckptWrites = r.Counter("codec_checkpoint_writes_total",
+			"Checkpoint frames written.")
+		cdm.ckptWriteBytes = r.Counter("codec_checkpoint_write_bytes_total",
+			"Bytes written in checkpoint frames, envelope included.")
+		cdm.ckptWriteSeconds = r.Histogram("codec_checkpoint_write_seconds",
+			"Latency of writing one checkpoint frame.", nil)
+		cdm.ckptReads = r.Counter("codec_checkpoint_reads_total",
+			"Checkpoint frames read and verified.")
+		cdm.ckptReadBytes = r.Counter("codec_checkpoint_read_bytes_total",
+			"Bytes read in checkpoint frames, envelope included.")
+		cdm.ckptReadSeconds = r.Histogram("codec_checkpoint_read_seconds",
+			"Latency of reading and restoring one checkpoint frame.", nil)
+		cdm.shareFrames = r.Counter("codec_share_frames_total",
+			"Vertex share frames encoded.")
+		cdm.rejections = r.Counter("codec_decode_rejections_total",
+			"Frames rejected by a typed decode error.")
+	})
+}

@@ -8,36 +8,58 @@
 // Because every sketch in this repository is vertex-based, player P_v can
 // evaluate exactly vertex v's share of the sketch from its own input, and
 // the referee reassembles the full sketch by linear merging. The simulation
-// actually serializes each message to bytes and reports the maximum and
-// total message sizes — the protocol's cost measure.
+// serializes each message as a codec share frame — the envelope's
+// fingerprint is how the referee detects a player operating under different
+// public randomness (codec.ErrFingerprint) instead of merging garbage — and
+// reports both the paper-faithful interior sizes (the share bytes the
+// communication bounds are stated in) and the framed totals including
+// envelope overhead.
 package commsim
 
 import (
 	"fmt"
 
+	"graphsketch/internal/codec"
 	"graphsketch/internal/graph"
 )
 
 // Protocol is a vertex-based sketch viewed as a one-round protocol: a
 // player instance consumes its incident edges (as one batch, matching the
 // unified graphsketch.Updater API) and emits its vertex share; a referee
-// instance absorbs shares. All sketches in internal/sketch and
-// internal/core satisfy this.
+// instance absorbs shares. Messages travel as codec share frames
+// (VertexShareFrame / AddVertexShareFrame); the raw interior accessors
+// remain for in-process use and size accounting. All sketches in
+// internal/sketch and internal/core satisfy this.
 type Protocol interface {
 	Update(e graph.Hyperedge, delta int64) error
 	UpdateBatch(batch []graph.WeightedEdge) error
 	VertexShare(v int) []byte
 	AddVertexShare(v int, data []byte) error
+	// VertexShareFrame frames vertex v's share with the sketch's identity
+	// fingerprint (codec.KindShare).
+	VertexShareFrame(v int) []byte
+	// AddVertexShareFrame verifies one share frame from the front of data
+	// — rejecting cross-identity frames with codec.ErrFingerprint — and
+	// merges it, returning the remaining bytes.
+	AddVertexShareFrame(data []byte) ([]byte, error)
 }
 
-// Result reports the communication cost of a run.
+// Result reports the communication cost of a run. MaxMessageBytes and
+// TotalBytes count share interiors only — the sketch bytes the paper's
+// communication bounds are stated in. The Framed fields additionally count
+// the codec envelope (codec.ShareOverhead per message) that a deployed
+// protocol actually puts on the wire.
 type Result struct {
 	Players         int
 	MaxMessageBytes int
 	TotalBytes      int
+	// FramedMaxMessageBytes and FramedTotalBytes include the per-message
+	// envelope: framed = interior + codec.ShareOverhead.
+	FramedMaxMessageBytes int
+	FramedTotalBytes      int
 }
 
-// MeanMessageBytes returns the average message size.
+// MeanMessageBytes returns the average interior message size.
 func (r Result) MeanMessageBytes() float64 {
 	if r.Players == 0 {
 		return 0
@@ -45,12 +67,17 @@ func (r Result) MeanMessageBytes() float64 {
 	return float64(r.TotalBytes) / float64(r.Players)
 }
 
+// EnvelopeBytes returns the total envelope overhead of the run.
+func (r Result) EnvelopeBytes() int { return r.FramedTotalBytes - r.TotalBytes }
+
 // Run executes the protocol on hypergraph h: for each vertex v a fresh
 // player sketch (same public randomness — newPlayer must construct
 // identically-seeded instances) receives exactly the hyperedges incident to
-// v, serializes its share of vertex v, and the referee merges it. After Run
-// returns, the referee holds precisely the sketch of h and can be decoded
-// by the caller.
+// v, frames its share of vertex v, and the referee verifies and merges the
+// frame. After Run returns, the referee holds precisely the sketch of h and
+// can be decoded by the caller. A player whose public randomness differs
+// from the referee's is rejected with codec.ErrFingerprint rather than
+// silently corrupting the merge.
 //
 // Correctness relies on linearity: each hyperedge e is fed to |e| players,
 // but player P_v's share of vertex v only accumulates v's own samplers, so
@@ -70,15 +97,25 @@ func Run(h *graph.Hypergraph, newPlayer func() Protocol, referee Protocol) (Resu
 		if err := player.UpdateBatch(inc[v]); err != nil {
 			return res, fmt.Errorf("commsim: player %d: %w", v, err)
 		}
-		msg := player.VertexShare(v)
-		if len(msg) > res.MaxMessageBytes {
-			res.MaxMessageBytes = len(msg)
+		msg := player.VertexShareFrame(v)
+		interior := len(msg) - codec.ShareOverhead
+		if interior > res.MaxMessageBytes {
+			res.MaxMessageBytes = interior
 		}
-		res.TotalBytes += len(msg)
+		res.TotalBytes += interior
+		if len(msg) > res.FramedMaxMessageBytes {
+			res.FramedMaxMessageBytes = len(msg)
+		}
+		res.FramedTotalBytes += len(msg)
 		cm.messages.Inc()
-		cm.bytes.Add(int64(len(msg)))
-		if err := referee.AddVertexShare(v, msg); err != nil {
+		cm.bytes.Add(int64(interior))
+		cm.framedBytes.Add(int64(len(msg)))
+		rest, err := referee.AddVertexShareFrame(msg)
+		if err != nil {
 			return res, fmt.Errorf("commsim: referee merging player %d: %w", v, err)
+		}
+		if len(rest) != 0 {
+			return res, fmt.Errorf("commsim: player %d message carries %d trailing bytes", v, len(rest))
 		}
 	}
 	return res, nil

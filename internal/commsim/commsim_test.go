@@ -1,9 +1,11 @@
 package commsim
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 
+	"graphsketch/internal/codec"
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
@@ -99,6 +101,56 @@ func TestReconstructProtocolPaperExample(t *testing.T) {
 		t.Fatal("referee failed to reconstruct the paper example")
 	}
 	t.Logf("max message %d bytes, total %d bytes", res.MaxMessageBytes, res.TotalBytes)
+}
+
+func TestFramedSizesIncludeEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	h := workload.ErdosRenyi(rng, 10, 0.3)
+	dom := h.Domain()
+	cfg := sketch.SpanningConfig{}
+	const seed = 21
+
+	referee := sketch.NewSpanning(seed, dom, cfg)
+	res, err := Run(h, func() Protocol { return sketch.NewSpanning(seed, dom, cfg) }, referee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One envelope per player, nothing else: framed − interior must be
+	// exactly n·ShareOverhead (and the same per-message).
+	if got, want := res.EnvelopeBytes(), res.Players*codec.ShareOverhead; got != want {
+		t.Fatalf("envelope bytes %d, want %d", got, want)
+	}
+	if got, want := res.FramedMaxMessageBytes, res.MaxMessageBytes+codec.ShareOverhead; got != want {
+		t.Fatalf("framed max %d, want %d", got, want)
+	}
+	// Interior sizes are the paper-faithful raw shares.
+	direct := sketch.NewSpanning(seed, dom, cfg)
+	if err := direct.UpdateGraph(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for v := 0; v < h.N(); v++ {
+		total += len(direct.VertexShare(v))
+	}
+	if res.TotalBytes != total {
+		t.Fatalf("interior total %d, want raw share total %d", res.TotalBytes, total)
+	}
+}
+
+func TestRefereeRejectsCrossSeedShares(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	h := workload.ErdosRenyi(rng, 10, 0.3)
+	dom := h.Domain()
+	cfg := sketch.SpanningConfig{}
+
+	// Players run under different public randomness than the referee: every
+	// share frame must be refused with the typed fingerprint error (before
+	// the framed format this silently merged to garbage).
+	referee := sketch.NewSpanning(1, dom, cfg)
+	_, err := Run(h, func() Protocol { return sketch.NewSpanning(2, dom, cfg) }, referee)
+	if !errors.Is(err, codec.ErrFingerprint) {
+		t.Fatalf("cross-seed run: got %v, want codec.ErrFingerprint", err)
+	}
 }
 
 func TestMessageSizeTracksDegree(t *testing.T) {

@@ -6,8 +6,9 @@ import "graphsketch/internal/obs"
 // and their serialized volume, the quantities the paper's communication
 // bounds are stated in.
 var cm struct {
-	messages *obs.Counter // commsim_messages_total
-	bytes    *obs.Counter // commsim_message_bytes_total
+	messages    *obs.Counter // commsim_messages_total
+	bytes       *obs.Counter // commsim_message_bytes_total
+	framedBytes *obs.Counter // commsim_framed_bytes_total
 }
 
 func init() {
@@ -15,6 +16,8 @@ func init() {
 		cm.messages = r.Counter("commsim_messages_total",
 			"Player-to-referee messages simulated")
 		cm.bytes = r.Counter("commsim_message_bytes_total",
-			"Serialized bytes of all simulated messages")
+			"Serialized interior bytes of all simulated messages")
+		cm.framedBytes = r.Counter("commsim_framed_bytes_total",
+			"Framed bytes of all simulated messages, codec envelope included")
 	})
 }

@@ -28,6 +28,7 @@ import (
 // Sketch answers edge-connectivity questions about a dynamic hypergraph
 // stream, with all cut values capped at its parameter k.
 type Sketch struct {
+	p        Params // defaulted construction parameters (wire identity)
 	k        int
 	skeleton *sketch.SkeletonSketch
 	decoded  *graph.Hypergraph // cached skeleton; nil when stale
@@ -68,7 +69,7 @@ func New(p Params) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sketch{k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K, p.Spanning)}, nil
+	return &Sketch{p: p, k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K, p.Spanning)}, nil
 }
 
 // NewWithDomain returns a sketch over an already-validated domain.

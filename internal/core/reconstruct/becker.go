@@ -22,6 +22,7 @@ import (
 type BeckerSketch struct {
 	n, d   int
 	budget int                 // declared recovery sparsity: decode refuses larger rows
+	seed   uint64              // wire identity (with n, d, budget)
 	rows   []*recovery.SSparse // rows[v] sketches row v of the adjacency matrix
 }
 
@@ -46,7 +47,7 @@ func NewBecker(seed uint64, n, d, slack int) *BeckerSketch {
 	for v := range rows {
 		rows[v] = recovery.NewSSparseFromShape(shape)
 	}
-	return &BeckerSketch{n: n, d: d, budget: slack * d, rows: rows}
+	return &BeckerSketch{n: n, d: d, budget: slack * d, seed: seed, rows: rows}
 }
 
 // Update applies the insertion (+1) or deletion (−1) of edge {u,v}: row u's

@@ -1,0 +1,112 @@
+package reconstruct
+
+import (
+	"fmt"
+	"io"
+
+	"graphsketch"
+	"graphsketch/internal/codec"
+	"graphsketch/internal/sketch"
+)
+
+// WireConfig returns the fully-defaulted per-layer spanning configuration as
+// the wire format sees it; see sketch.SpanningSketch.WireConfig.
+func (s *Sketch) WireConfig() sketch.SpanningConfig { return s.skeleton.WireConfig() }
+
+func (s *Sketch) wireParams() []byte {
+	b := codec.AppendUint64s(nil, uint64(s.p.N), uint64(s.p.R), uint64(s.p.K))
+	b = sketch.AppendWireConfig(b, s.WireConfig())
+	return codec.AppendUint64s(b, s.p.Seed)
+}
+
+// Fingerprint returns the sketch's wire identity (codec.Fingerprint over the
+// canonical params, seed included).
+func (s *Sketch) Fingerprint() uint64 {
+	return codec.Fingerprint(codec.TagReconstr, s.wireParams())
+}
+
+// WriteTo writes a self-describing checkpoint frame (graphsketch.Checkpointer).
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	return codec.WriteCheckpoint(w, codec.TagReconstr, s.wireParams(), s.Marshal())
+}
+
+// ReadFrom reads a checkpoint frame and merges its state into the sketch
+// (linearly — an exact restore on a fresh sketch). A frame from a
+// differently-constructed sketch fails with codec.ErrFingerprint.
+func (s *Sketch) ReadFrom(r io.Reader) (int64, error) {
+	n, state, err := codec.ReadCheckpoint(r, codec.TagReconstr, s.Fingerprint())
+	if err != nil {
+		return n, err
+	}
+	return n, s.Unmarshal(state)
+}
+
+// VertexShareFrame frames vertex v's share for transport.
+func (s *Sketch) VertexShareFrame(v int) []byte {
+	return codec.AppendShareFrame(nil, codec.TagReconstr, s.Fingerprint(), v, s.VertexShare(v))
+}
+
+// AddVertexShareFrame verifies and merges one framed vertex share from the
+// front of data, returning the remaining bytes.
+func (s *Sketch) AddVertexShareFrame(data []byte) ([]byte, error) {
+	v, interior, rest, err := codec.DecodeShareFrame(data, codec.TagReconstr, s.Fingerprint())
+	if err != nil {
+		return nil, err
+	}
+	return rest, s.AddVertexShare(v, interior)
+}
+
+// Fingerprint returns the Becker sketch's wire identity: n, d, the recovery
+// budget, and the seed. Becker shares carry TagBecker frames; the sketch has
+// no checkpoint opener (it is the shares-only baseline protocol).
+func (b *BeckerSketch) Fingerprint() uint64 {
+	params := codec.AppendUint64s(nil,
+		uint64(b.n), uint64(b.d), uint64(b.budget), b.seed)
+	return codec.Fingerprint(codec.TagBecker, params)
+}
+
+// VertexShareFrame frames row v — player P_v's message — for transport.
+func (b *BeckerSketch) VertexShareFrame(v int) []byte {
+	return codec.AppendShareFrame(nil, codec.TagBecker, b.Fingerprint(), v, b.VertexShare(v))
+}
+
+// AddVertexShareFrame verifies and merges one framed row share from the
+// front of data, returning the remaining bytes.
+func (b *BeckerSketch) AddVertexShareFrame(data []byte) ([]byte, error) {
+	v, interior, rest, err := codec.DecodeShareFrame(data, codec.TagBecker, b.Fingerprint())
+	if err != nil {
+		return nil, err
+	}
+	return rest, b.AddVertexShare(v, interior)
+}
+
+func init() {
+	codec.Register(codec.TagReconstr, func(params []byte) (graphsketch.Sketch, error) {
+		vs, rest, err := codec.ReadUint64s(params, 4+sketch.WireConfigWords)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("reconstruct: params carry %d trailing bytes: %w", len(rest), codec.ErrUnknownType)
+		}
+		n, err := codec.IntField(vs[0], "n")
+		if err != nil {
+			return nil, err
+		}
+		r, err := codec.IntField(vs[1], "r")
+		if err != nil {
+			return nil, err
+		}
+		k, err := codec.IntField(vs[2], "k")
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := sketch.ReadWireConfig(vs[3:8])
+		if err != nil {
+			return nil, err
+		}
+		return New(Params{N: n, R: r, K: k, Spanning: cfg, Seed: vs[8]})
+	})
+}
+
+var _ graphsketch.Checkpointer = (*Sketch)(nil)

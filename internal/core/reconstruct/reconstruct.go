@@ -33,6 +33,7 @@ var ErrIncomplete = errors.New("reconstruct: graph is not k-cut-degenerate; reco
 
 // Sketch reconstructs light_k(G) for simple (unit-weight) hypergraphs.
 type Sketch struct {
+	p        Params // defaulted construction parameters (wire identity)
 	k        int
 	skeleton *sketch.SkeletonSketch
 }
@@ -72,7 +73,7 @@ func New(p Params) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sketch{k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K+1, p.Spanning)}, nil
+	return &Sketch{p: p, k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K+1, p.Spanning)}, nil
 }
 
 // NewWithDomain returns a sketch over an already-validated domain.
@@ -249,4 +250,10 @@ func (s *Sketch) VertexShare(v int) []byte { return s.skeleton.VertexShare(v) }
 // AddVertexShare merges a serialized vertex share (same seed/shape).
 func (s *Sketch) AddVertexShare(v int, data []byte) error {
 	return s.skeleton.AddVertexShare(v, data)
+}
+
+// AddVertexShareFrom merges a vertex share from the front of b and returns
+// the remaining bytes, for composition into larger protocol messages.
+func (s *Sketch) AddVertexShareFrom(v int, b []byte) ([]byte, error) {
+	return s.skeleton.AddVertexShareFrom(v, b)
 }

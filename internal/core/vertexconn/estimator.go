@@ -24,6 +24,9 @@ import (
 type Estimator struct {
 	scales []*Sketch
 	kmax   int
+	// seed is the base seed, kept as part of the estimator's wire identity
+	// (per-scale seeds are derived from it and are not worth inverting).
+	seed uint64
 }
 
 // EstimatorParams configures an Estimator.
@@ -54,7 +57,7 @@ func NewEstimator(p EstimatorParams) (*Estimator, error) {
 		}
 		subAt = func(k int) int { return 24 * k * logN }
 	}
-	est := &Estimator{kmax: p.KMax}
+	est := &Estimator{kmax: p.KMax, seed: p.Seed}
 	for k := 1; ; k *= 2 {
 		s, err := New(Params{N: p.N, R: p.R, K: k, Subgraphs: subAt(k), Seed: p.Seed ^ uint64(k)*0x9e37})
 		if err != nil {

@@ -8,7 +8,9 @@ import (
 // AppendBinary serializes the sampler: one byte for the number of allocated
 // levels, then for each allocated level one byte of level index followed by
 // the level's cell state. Hash functions and shape are public randomness
-// and are not transmitted.
+// and are not transmitted. These bytes are the compact interior of the
+// versioned wire format (internal/codec) — identity, versioning, and
+// corruption detection happen at the frame layer, not here.
 func (s *Sampler) AppendBinary(b []byte) []byte {
 	count := 0
 	for _, lv := range s.levels {

@@ -12,7 +12,9 @@ var ErrShortBuffer = errors.New("recovery: short buffer")
 
 // AppendBinary serializes the cell's state (24 bytes: count, moment,
 // fingerprint). The randomness (z, domain) is not serialized — it is public
-// and reconstructed from the seed by the receiver.
+// and reconstructed from the seed by the receiver. These bytes are the
+// compact interior of the versioned wire format (internal/codec); the
+// frame layer carries identity and checksums.
 func (c *OneSparse) AppendBinary(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(c.count))
 	b = binary.LittleEndian.AppendUint64(b, uint64(c.mom))

@@ -20,7 +20,10 @@ func (s *SpanningSketch) VertexShare(v int) []byte {
 
 // AddVertexShare merges a serialized vertex share into this sketch
 // (linearly). The share must come from a sketch with identical seed,
-// domain, and config — the protocol's shared public randomness.
+// domain, and config — the protocol's shared public randomness; that
+// invariant is unchecked here. Transported shares should travel as codec
+// share frames (VertexShareFrame / AddVertexShareFrame), which verify the
+// identity fingerprint before delegating to this raw interior path.
 func (s *SpanningSketch) AddVertexShare(v int, data []byte) error {
 	rest, err := s.AddVertexShareFrom(v, data)
 	if err != nil {
