@@ -1,11 +1,22 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json codec-check fmt-check ci
+.PHONY: all build vet test race bench bench-json codec-check fmt-check ci \
+	lint lint-gsvet lint-staticcheck lint-govulncheck
 
 # Benchmark knobs for bench-json: runs to average and time per run.
 # CI smoke uses BENCHTIME=1x; real measurements want the defaults or more.
 BENCHCOUNT ?= 1
 BENCHTIME ?= 1s
+
+# Pinned external linter versions. The module is dependency-free and must
+# build offline, so these cannot live as go.mod tool directives; the pins
+# live here and CI runs them via `go run pkg@version` (LINT_ONLINE=1).
+# Offline, a locally installed binary is used when present and the step is
+# skipped (with a notice) otherwise — gsvet, the in-tree invariant suite,
+# always runs.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+LINT_ONLINE ?= 0
 
 all: build
 
@@ -56,7 +67,34 @@ obs-check:
 	$(GO) test -run TestObsEndpointSmoke ./cmd/experiments/
 
 fmt-check:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build test race codec-check bench
+# Static analysis gate: the in-tree invariant suite (cmd/gsvet —
+# mapdeterminism, seeddiscipline, obshandles, checkpointopener) plus the
+# pinned external linters. gsvet needs only the Go toolchain and always
+# runs; see the version pins above for the external-tool gating.
+lint: lint-gsvet lint-staticcheck lint-govulncheck
+
+lint-gsvet:
+	$(GO) run ./cmd/gsvet ./...
+
+lint-staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif [ "$(LINT_ONLINE)" = "1" ]; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) not installed and LINT_ONLINE != 1; skipping"; \
+	fi
+
+lint-govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	elif [ "$(LINT_ONLINE)" = "1" ]; then \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...; \
+	else \
+		echo "lint: govulncheck $(GOVULNCHECK_VERSION) not installed and LINT_ONLINE != 1; skipping"; \
+	fi
+
+ci: fmt-check vet lint build test race codec-check bench

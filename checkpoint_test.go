@@ -208,3 +208,32 @@ func TestCheckpointRejectsCrossConstruction(t *testing.T) {
 		})
 	}
 }
+
+func TestCheckpointDeterministic(t *testing.T) {
+	// Byte determinism is the codec's bedrock contract: the frame carries a
+	// fingerprint and CRC over bytes that must come out identical on every
+	// encode of the same state (the mapdeterminism analyzer guards the same
+	// invariant statically). Two WriteTo calls on one live, half-ingested
+	// sketch must agree byte for byte, for all seven implementations.
+	const n = 12
+	st := checkpointStream(n)
+	for _, tc := range checkpointCases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build(t, n, plan.Balanced)
+			if err := stream.Apply(st[:len(st)/2], s); err != nil {
+				t.Fatal(err)
+			}
+			var first, second bytes.Buffer
+			if _, err := s.WriteTo(&first); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.WriteTo(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("two WriteTo calls on the same sketch differ: %d vs %d bytes",
+					first.Len(), second.Len())
+			}
+		})
+	}
+}

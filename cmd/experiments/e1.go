@@ -9,6 +9,7 @@ import (
 	"graphsketch/internal/core/vertexconn"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -33,7 +34,7 @@ func runE1(cfg Config, out *os.File) error {
 	k := 4
 	for _, n := range sizes {
 		h := workload.MustHarary(n, k)
-		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n)))
+		rng := hashutil.NewRand(cfg.Seed, uint64(n))
 		churn := workload.ErdosRenyi(rng, n, 0.3)
 		st := stream.WithChurn(h, churn, rng)
 
@@ -87,7 +88,7 @@ func runE1(cfg Config, out *os.File) error {
 		if err := stream.Apply(stream.FromGraph(h), s); err != nil {
 			return err
 		}
-		rng := rand.New(rand.NewPCG(cfg.Seed, 7))
+		rng := hashutil.NewRand(cfg.Seed, 7)
 		var sep, non bench.Counter
 		for q := 0; q < 8; q++ {
 			v := rng.IntN(n)
@@ -114,7 +115,7 @@ func runE1(cfg Config, out *os.File) error {
 	// under drop-incident semantics. Also run a sliding-window stream —
 	// fully interleaved inserts and deletes.
 	{
-		rng := rand.New(rand.NewPCG(cfg.Seed, 31))
+		rng := hashutil.NewRand(cfg.Seed, 31)
 		hg := workload.SharedHyperCommunities(rng, 8, 2, 3, 30)
 		sHG, err := vertexconn.New(vertexconn.Params{N: hg.N(), R: 3, K: 2, Subgraphs: 96, Seed: cfg.Seed ^ 0x31})
 		if err != nil {
@@ -177,7 +178,7 @@ func runE1(cfg Config, out *os.File) error {
 		return err
 	}
 	sep.Observe(got)
-	rng := rand.New(rand.NewPCG(cfg.Seed, 99))
+	rng := hashutil.NewRand(cfg.Seed, 99)
 	for q := 0; q < 23; q++ {
 		rs := randomSet(rng, sc.N(), 2)
 		want := graphalg.DisconnectsQueryMode(sc, rs, graph.DropIncident)

@@ -1,12 +1,12 @@
 package main
 
 import (
-	"math/rand/v2"
 	"os"
 
 	"graphsketch/internal/bench"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/l0"
 	"graphsketch/internal/lowerbound"
 	"graphsketch/internal/sketch"
@@ -125,7 +125,7 @@ func runE10(cfg Config, out *os.File) error {
 		"x[i,j] off any scan-first search tree. One SFST per query decodes one bit."
 
 	nBits := 12
-	rng := rand.New(rand.NewPCG(cfg.Seed, 10))
+	rng := hashutil.NewRand(cfg.Seed, 10)
 	inst := lowerbound.RandomIndex(rng, nBits, nBits)
 	var dec bench.Counter
 	probes := 40

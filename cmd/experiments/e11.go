@@ -1,13 +1,13 @@
 package main
 
 import (
-	"math/rand/v2"
 	"os"
 
 	"graphsketch/internal/bench"
 	"graphsketch/internal/core/edgeconn"
 	"graphsketch/internal/core/vertexconn"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -42,7 +42,7 @@ func runE11(cfg Config, out *os.File) error {
 		{"Cycle C_16", workload.Cycle(16), 2},
 	}
 	for _, in := range insts {
-		rng := rand.New(rand.NewPCG(cfg.Seed, 11))
+		rng := hashutil.NewRand(cfg.Seed, 11)
 		churn := workload.ErdosRenyi(rng, in.g.N(), 0.3)
 		st := stream.WithChurn(in.g, churn, rng)
 

@@ -1,12 +1,12 @@
 package main
 
 import (
-	"math/rand/v2"
 	"os"
 	"time"
 
 	"graphsketch/internal/bench"
 	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
@@ -31,7 +31,7 @@ func runE12(cfg Config, out *os.File) error {
 		ns = []int{64, 128}
 	}
 	for _, n := range ns {
-		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n)))
+		rng := hashutil.NewRand(cfg.Seed, uint64(n))
 		final := workload.ErdosRenyi(rng, n, 8.0/float64(n))
 		churn := workload.ErdosRenyi(rng, n, 4.0/float64(n))
 		st := stream.WithChurn(final, churn, rng)

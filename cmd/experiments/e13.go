@@ -1,10 +1,10 @@
 package main
 
 import (
-	"math/rand/v2"
 	"os"
 
 	"graphsketch/internal/bench"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/l0"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
@@ -45,7 +45,7 @@ func runE13(cfg Config, out *os.File) error {
 		var ok, exact bench.Counter
 		var words int
 		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(trial*131+kb.s)))
+			rng := hashutil.NewRand(cfg.Seed, uint64(trial*131+kb.s))
 			final := workload.ErdosRenyi(rng, n, 6.0/float64(n))
 			churn := workload.ErdosRenyi(rng, n, 3.0/float64(n))
 			scfg := sketch.SpanningConfig{

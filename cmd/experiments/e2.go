@@ -1,11 +1,11 @@
 package main
 
 import (
-	"math/rand/v2"
 	"os"
 
 	"graphsketch/internal/bench"
 	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/lowerbound"
 )
 
@@ -30,7 +30,7 @@ func runE2(cfg Config, out *os.File) error {
 	nRight := 24
 	trials := 8
 	for _, k := range ks {
-		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(k)))
+		rng := hashutil.NewRand(cfg.Seed, uint64(k))
 		inst := lowerbound.RandomIndex(rng, k+1, nRight)
 		nTotal := lowerbound.Theorem5VertexCount(inst)
 

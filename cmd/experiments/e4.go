@@ -6,6 +6,7 @@ import (
 
 	"graphsketch/internal/bench"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
@@ -37,7 +38,7 @@ func runE4(cfg Config, out *os.File) error {
 			var ok bench.Counter
 			var words, updates, m int
 			for trial := 0; trial < trials; trial++ {
-				rng := rand.New(rand.NewPCG(cfg.Seed, uint64(r*1000+n*10+trial)))
+				rng := hashutil.NewRand(cfg.Seed, uint64(r*1000+n*10+trial))
 				var final *hyper
 				if trial%2 == 0 {
 					final = workload.UniformHypergraph(rng, n, r, 3*n)

@@ -1,10 +1,10 @@
 package main
 
 import (
-	"math/rand/v2"
 	"os"
 
 	"graphsketch/internal/bench"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
@@ -30,7 +30,7 @@ func runE5(cfg Config, out *os.File) error {
 			cuts := 0
 			var skelEdges, words int
 			for trial := 0; trial < trials; trial++ {
-				rng := rand.New(rand.NewPCG(cfg.Seed, uint64(r*100+k*10+trial)))
+				rng := hashutil.NewRand(cfg.Seed, uint64(r*100+k*10+trial))
 				var final *hyper
 				if r == 2 {
 					final = workload.ErdosRenyi(rng, n, 0.45)

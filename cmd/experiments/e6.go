@@ -2,12 +2,12 @@ package main
 
 import (
 	"errors"
-	"math/rand/v2"
 	"os"
 
 	"graphsketch/internal/bench"
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -23,7 +23,7 @@ func runE6(cfg Config, out *os.File) error {
 	// Part 1: Lemma 16 equivalence.
 	t1 := bench.NewTable("E6a — Lemma 16: light_k = {e : strength(e) ≤ k}",
 		"family", "r", "k", "agreement")
-	rng := rand.New(rand.NewPCG(cfg.Seed, 6))
+	rng := hashutil.NewRand(cfg.Seed, 6)
 	trials := 10
 	if cfg.Quick {
 		trials = 4
@@ -63,7 +63,7 @@ func runE6(cfg Config, out *os.File) error {
 	}
 	var instances []inst
 	instances = append(instances, inst{"paper example", workload.PaperExample(), 2})
-	ctRng := rand.New(rand.NewPCG(cfg.Seed, 66))
+	ctRng := hashutil.NewRand(cfg.Seed, 66)
 	instances = append(instances, inst{"clique tree q=4", workload.CliqueTree(ctRng, 5, 4), 3})
 	instances = append(instances, inst{"clique tree q=5", workload.CliqueTree(ctRng, 4, 5), 4})
 
@@ -72,7 +72,7 @@ func runE6(cfg Config, out *os.File) error {
 		cdeg := graphalg.CutDegeneracy(in.g)
 
 		// Stream with churn through both sketches.
-		rng := rand.New(rand.NewPCG(cfg.Seed, 67))
+		rng := hashutil.NewRand(cfg.Seed, 67)
 		churn := workload.ErdosRenyi(rng, in.g.N(), 0.3)
 		st := stream.WithChurn(in.g, churn, rng)
 

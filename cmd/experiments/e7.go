@@ -8,6 +8,7 @@ import (
 	"graphsketch/internal/bench"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -47,7 +48,7 @@ func runE7(cfg Config, out *os.File) error {
 	}
 	for _, f := range fams {
 		for _, K := range ks {
-			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(K)))
+			rng := hashutil.NewRand(cfg.Seed, uint64(K))
 			final := f.mk(rng)
 			churn := workload.MixedHypergraph(rng, n, f.r, 2*n)
 			s, err := sparsify.New(sparsify.Params{N: n, R: f.r, K: K, Seed: cfg.Seed ^ uint64(K*17)})

@@ -1,13 +1,13 @@
 package main
 
 import (
-	"math/rand/v2"
 	"os"
 
 	"graphsketch/internal/bench"
 	"graphsketch/internal/commsim"
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/workload"
 )
@@ -31,7 +31,7 @@ func runE9(cfg Config, out *os.File) error {
 		ns = []int{16, 32}
 	}
 	for _, n := range ns {
-		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n)))
+		rng := hashutil.NewRand(cfg.Seed, uint64(n))
 		h := workload.ErdosRenyi(rng, n, 0.2)
 		dom := h.Domain()
 		scfg := sketch.SpanningConfig{}

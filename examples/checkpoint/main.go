@@ -23,17 +23,17 @@ import (
 	"bytes"
 	"fmt"
 	"log"
-	"math/rand/v2"
 
 	"graphsketch/internal/codec"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
 
 func main() {
-	rng := rand.New(rand.NewPCG(12, 34))
+	rng := hashutil.NewRand(12, 34)
 	final := workload.PreferentialAttachment(rng, 40, 2)
 	churn := workload.ErdosRenyi(rng, 40, 0.1)
 	st := stream.WithChurn(final, churn, rng)

@@ -20,9 +20,9 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"math/rand/v2"
 
 	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -32,7 +32,7 @@ func main() {
 		n = 20 // columns (vertices)
 		r = 3  // nonzeros per row (hyperedge cardinality)
 	)
-	rng := rand.New(rand.NewPCG(7, 42))
+	rng := hashutil.NewRand(7, 42)
 
 	// The "final" sparsity structure: two dense blocks (natural partition)
 	// plus a few coupling rows; plus heavy churn from structure updates.

@@ -18,11 +18,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 
 	"graphsketch/internal/core/vertexconn"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/workload"
 )
 
@@ -43,7 +43,7 @@ func main() {
 
 	// Phase 1: the friendships arrive in random order, interleaved with
 	// transient friendships that are later removed (churn).
-	rng := rand.New(rand.NewPCG(20, 26))
+	rng := hashutil.NewRand(20, 26)
 	churn := workload.ErdosRenyi(rng, n, 0.3)
 	applied := 0
 	for _, e := range churn.Edges() {

@@ -1,0 +1,83 @@
+// Package analysis is a self-contained, stdlib-only analysis harness in the
+// shape of golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package at a time through a Pass and reports Diagnostics.
+//
+// The repository's invariants — linearity under shared randomness,
+// byte-deterministic encodings, nil-handle metric fast paths, opener
+// registration for every checkpointable sketch — are conventions the
+// compiler cannot see. The analyzers under internal/analysis/... encode
+// them as compile-time checks; cmd/gsvet is the multichecker that runs the
+// suite, and `make lint` wires it into CI.
+//
+// # Why not golang.org/x/tools directly
+//
+// The build environment is hermetic: the module has no third-party
+// dependencies and must build offline. This package therefore re-creates
+// the minimal x/tools surface (Analyzer, Pass, Report, analysistest-style
+// golden tests with `// want` comments) on top of go/ast, go/types, and
+// export data produced by `go list -export` — see load.go. Analyzers
+// written against it port to the real framework mechanically if the
+// dependency ever becomes available.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by an annotation on the flagged line or the
+// line directly above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// or for a whole file, anywhere in it:
+//
+//	//lint:file-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory: an ignore without one is itself reported. This
+// keeps every suppression a documented, reviewable decision, matching the
+// staticcheck convention.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. Run is invoked once per package
+// with a fully type-checked Pass and reports findings via Pass.Report; a
+// non-nil error aborts the whole gsvet run (reserved for internal failures,
+// not findings).
+type Analyzer struct {
+	Name string // short lowercase identifier, used in //lint:ignore
+	Doc  string // one-paragraph description: the invariant and why it holds
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned inside Pass.Fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding. The runner fills in the analyzer name and
+// applies //lint:ignore suppression afterwards.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf is the fmt-style convenience wrapper around Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

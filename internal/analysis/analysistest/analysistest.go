@@ -1,0 +1,148 @@
+// Package analysistest runs an analyzer over a golden testdata module and
+// checks its diagnostics against `// want` expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Each analyzer keeps a self-contained Go module under testdata/src (its
+// own go.mod, plus stand-in packages for repo dependencies like obs or
+// codec, matched by import-path suffix). A flagged line carries a trailing
+// comment with one Go-quoted regexp per expected diagnostic:
+//
+//	for k := range m { // want `range over map`
+//
+// Lines without a matching want, and wants without a matching diagnostic,
+// both fail the test — so the goldens pin the positive findings and the
+// negative (allowed) cases at once.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphsketch/internal/analysis"
+)
+
+// Run loads the module rooted at srcdir (relative to the test's working
+// directory), applies the analyzer to every package in it, and matches the
+// diagnostics against the module's // want comments.
+func Run(t *testing.T, srcdir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(srcdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(abs, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", abs)
+	}
+	fset := pkgs[0].Fset // Load type-checks every package into one FileSet
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants, err := parseWant(c.Text)
+					if err != nil {
+						t.Errorf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, w := range wants {
+						re, err := regexp.Compile(w)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, w, err)
+							continue
+						}
+						if i := matchIndex(got[k], re); i >= 0 {
+							got[k] = append(got[k][:i], got[k][i+1:]...)
+						} else {
+							t.Errorf("%s: no diagnostic matching %q", pos, w)
+						}
+					}
+				}
+			}
+		}
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+func matchIndex(msgs []string, re *regexp.Regexp) int {
+	for i, m := range msgs {
+		if re.MatchString(m) {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseWant extracts the quoted regexps from a `// want "re" `+"`re`"+`...`
+// comment; a comment without the want marker yields none.
+func parseWant(comment string) ([]string, error) {
+	body, ok := strings.CutPrefix(comment, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var wants []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want string in %q", comment)
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %q: %v", rest[:end+1], err)
+			}
+			wants = append(wants, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want string in %q", comment)
+			}
+			wants = append(wants, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("want arguments must be quoted strings, got %q", rest)
+		}
+	}
+	return wants, nil
+}

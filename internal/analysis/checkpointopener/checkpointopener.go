@@ -1,0 +1,189 @@
+// Package checkpointopener flags Checkpointer implementations whose
+// package never registers a codec opener that constructs them.
+//
+// A sketch that implements graphsketch.Checkpointer (WriteTo/ReadFrom over
+// the versioned wire format) is only restartable if codec.Open can rebuild
+// it from a frame alone, and codec.Open dispatches through the opener
+// registry keyed by type tag. A new sketch type that ships WriteTo without
+// a codec.Register call decodes fine in-process but makes every checkpoint
+// it writes unopenable — a silent failure discovered at restore time, in
+// production. This analyzer forces the registration into the same package,
+// at compile time.
+//
+// Detection is structural: a type counts as a Checkpointer when the
+// package declares both WriteTo(io.Writer) (int64, error) and
+// ReadFrom(io.Reader) (int64, error) methods on it, and it counts as
+// registered when some codec.Register call in the package mentions the
+// type (constructs it, or calls a helper returning it) anywhere in its
+// argument tree. Packages whose path ends in /codec are exempt — the
+// registry cannot register itself.
+package checkpointopener
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"graphsketch/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "checkpointopener",
+	Doc:  "flags types implementing graphsketch.Checkpointer whose package lacks a codec.Register opener constructing them; their frames would be unopenable by codec.Open",
+	Run:  run,
+}
+
+func isCodecPath(path string) bool {
+	return path == "codec" || strings.HasSuffix(path, "/codec")
+}
+
+func run(pass *analysis.Pass) error {
+	if isCodecPath(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// Pass 1: types with both halves of the Checkpointer pair declared in
+	// this package. Method declarations only, so embedded bytes.Buffer-style
+	// promotion and interface types never match.
+	writeTo := make(map[*types.TypeName]token.Pos)
+	readFrom := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			tn := recvTypeName(pass, fd)
+			if tn == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "WriteTo":
+				if hasCheckpointSig(pass, fd, "Writer") {
+					writeTo[tn] = fd.Name.Pos()
+				}
+			case "ReadFrom":
+				if hasCheckpointSig(pass, fd, "Reader") {
+					readFrom[tn] = true
+				}
+			}
+		}
+	}
+	var candidates []*types.TypeName
+	for tn := range writeTo {
+		if readFrom[tn] {
+			candidates = append(candidates, tn)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Pass 2: types mentioned inside codec.Register call argument trees.
+	// The opener literal either composite-constructs the sketch or calls a
+	// constructor returning it; either way the type appears as the type of
+	// some expression in the arguments.
+	registered := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Register" {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isCodecPath(fn.Pkg().Path()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if expr, ok := m.(ast.Expr); ok {
+						if tv, ok := pass.TypesInfo.Types[expr]; ok {
+							markNamed(tv.Type, registered)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	for _, tn := range candidates {
+		if !registered[tn] {
+			pass.Reportf(writeTo[tn],
+				"%s implements graphsketch.Checkpointer but no codec.Register opener in package %s constructs it: codec.Open cannot restore its checkpoint frames",
+				tn.Name(), pass.Pkg.Path())
+		}
+	}
+	return nil
+}
+
+// recvTypeName resolves a method's receiver to the named type it is
+// declared on, through any pointer.
+func recvTypeName(pass *analysis.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// hasCheckpointSig reports whether fd has the io.WriterTo/io.ReaderFrom
+// shape: one io.<ioName> parameter and (int64, error) results.
+func hasCheckpointSig(pass *analysis.Pass, fd *ast.FuncDecl, ioName string) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Signature()
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	if !isIONamed(sig.Params().At(0).Type(), ioName) {
+		return false
+	}
+	if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Int64 {
+		return false
+	}
+	named, ok := sig.Results().At(1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func isIONamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "io"
+}
+
+// markNamed records every named type reachable through t's surface shape
+// (pointer element, each element of a call's result tuple).
+func markNamed(t types.Type, set map[*types.TypeName]bool) {
+	switch t := t.(type) {
+	case *types.Pointer:
+		markNamed(t.Elem(), set)
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			markNamed(t.At(i).Type(), set)
+		}
+	case *types.Named:
+		set[t.Obj()] = true
+	}
+}

@@ -1,0 +1,12 @@
+package checkpointopener_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/checkpointopener"
+)
+
+func TestCheckpointOpener(t *testing.T) {
+	analysistest.Run(t, "testdata/src", checkpointopener.Analyzer)
+}

@@ -1,0 +1,11 @@
+// Package orphan writes checkpoint frames nobody can reopen: it
+// implements the Checkpointer pair but never registers a codec opener.
+package orphan
+
+import "io"
+
+type Orphan struct{}
+
+func (o *Orphan) WriteTo(w io.Writer) (int64, error) { return 0, nil } // want `Orphan implements graphsketch\.Checkpointer but no codec\.Register opener`
+
+func (o *Orphan) ReadFrom(r io.Reader) (int64, error) { return 0, nil }

@@ -1,0 +1,18 @@
+// Package partial holds the negative cases: types that look close to
+// Checkpointer but are not, so no registration is demanded.
+package partial
+
+import "io"
+
+// WriterOnly checkpoint-writes but cannot restore; not a Checkpointer.
+type WriterOnly struct{}
+
+func (w *WriterOnly) WriteTo(dst io.Writer) (int64, error) { return 0, nil }
+
+// WrongShape has the method names but not the io.WriterTo/io.ReaderFrom
+// signatures.
+type WrongShape struct{}
+
+func (w *WrongShape) WriteTo(b []byte) (int64, error) { return 0, nil }
+
+func (w *WrongShape) ReadFrom(b []byte) (int64, error) { return 0, nil }

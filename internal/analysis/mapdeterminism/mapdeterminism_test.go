@@ -1,0 +1,12 @@
+package mapdeterminism_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/mapdeterminism"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", mapdeterminism.Analyzer)
+}

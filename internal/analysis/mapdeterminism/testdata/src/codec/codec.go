@@ -1,0 +1,19 @@
+// Package codec mirrors the real wire-codec package: every function in a
+// /codec package is on the encode path regardless of name.
+package codec
+
+func tagList(openers map[uint16]bool) []uint16 {
+	var tags []uint16
+	for t := range openers { // want `range over map openers in encode path tagList`
+		tags = append(tags, t)
+	}
+	return tags
+}
+
+func frameLen(payload []byte) int {
+	n := 0
+	for range payload {
+		n++
+	}
+	return n
+}

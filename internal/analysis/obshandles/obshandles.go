@@ -1,0 +1,146 @@
+// Package obshandles flags obs metric-handle registration inside ordinary
+// function bodies.
+//
+// The telemetry layer's zero-overhead-when-disabled contract (PR 3) hinges
+// on handles being package-level vars: every hot-path metric site calls a
+// method on a possibly-nil *obs.Counter/*obs.Gauge/*obs.Histogram, which
+// is a predicted branch and no allocation. Calling Registry.Counter/Gauge/
+// Histogram per operation instead re-hashes the family name, takes the
+// registry lock, and allocates — on the ingest path that demolishes the
+// AllocsPerRun-pinned zero-alloc budget.
+//
+// Registration is therefore allowed only where binding is the point:
+//   - inside a function literal passed to obs.OnEnable (the standard hook
+//     that populates package-level handle vars on Enable/Disable),
+//   - inside an init function,
+//   - inside a constructor whose name matches (new|bind)...(Stats|Metrics),
+//     the convention for binding per-instance series (e.g. the engine's
+//     per-shard counters) once at construction time.
+//
+// Everything else is treated as a hot path and flagged.
+package obshandles
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"graphsketch/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obshandles",
+	Doc:  "flags obs.Registry Counter/Gauge/Histogram registration outside OnEnable hooks, init, and *Stats/*Metrics constructors; handles must be package-level vars",
+	Run:  run,
+}
+
+var registerMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// binderName matches constructors whose job is binding metric handles.
+var binderName = regexp.MustCompile(`(?i)^(new|bind)\w*(stats|metrics)$`)
+
+func isObsPath(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+func run(pass *analysis.Pass) error {
+	if isObsPath(pass.Pkg.Path()) {
+		return nil // the registry implementation itself
+	}
+	for _, f := range pass.Files {
+		// Allowed intervals: bodies of init functions and binder-named
+		// functions, and function literals passed directly to obs.OnEnable.
+		type span struct{ lo, hi token.Pos }
+		var allowed []span
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if (fd.Recv == nil && fd.Name.Name == "init") || binderName.MatchString(fd.Name.Name) {
+				allowed = append(allowed, span{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := calleeFunc(pass, call); ok && fn.Name() == "OnEnable" &&
+				fn.Pkg() != nil && isObsPath(fn.Pkg().Path()) {
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						allowed = append(allowed, span{lit.Pos(), lit.End()})
+					}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registerMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isObsPath(fn.Pkg().Path()) {
+				return true
+			}
+			recv := fn.Signature().Recv()
+			if recv == nil || !isRegistry(recv.Type()) {
+				return true
+			}
+			for _, sp := range allowed {
+				if call.Pos() >= sp.lo && call.Pos() < sp.hi {
+					return true
+				}
+			}
+			where := analysis.EnclosingFunc(f, call.Pos())
+			if where == "" {
+				return true // package-level var initializer: already a package-level handle
+			}
+			pass.Reportf(call.Pos(),
+				"obs handle registered inside %s: Registry.%s locks and allocates per call; bind a package-level handle in an obs.OnEnable hook (or a new...Stats constructor) to keep the nil-handle zero-alloc fast path",
+				where, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's target when it is a plain or qualified
+// function reference.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, ok := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+// isRegistry reports whether t is (a pointer to) the obs Registry type.
+func isRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && isObsPath(obj.Pkg().Path())
+}

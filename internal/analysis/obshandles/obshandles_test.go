@@ -1,0 +1,12 @@
+package obshandles_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/obshandles"
+)
+
+func TestObsHandles(t *testing.T) {
+	analysistest.Run(t, "testdata/src", obshandles.Analyzer)
+}

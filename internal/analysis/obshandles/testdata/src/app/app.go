@@ -1,0 +1,42 @@
+// Package app is the obshandles golden fixture: handle registration is
+// allowed in OnEnable hooks, init, and binder constructors, and flagged on
+// every other path.
+package app
+
+import "gsvettest/obs"
+
+var m struct {
+	ops *obs.Counter
+	lat *obs.Histogram
+}
+
+func init() {
+	obs.OnEnable(func(r *obs.Registry) {
+		m.ops = r.Counter("app_ops_total", "ops")          // allowed: OnEnable hook
+		m.lat = r.Histogram("app_latency", "latency", nil) // allowed: OnEnable hook
+	})
+}
+
+type stats struct {
+	hits *obs.Counter
+}
+
+// newShardStats binds per-instance series once at construction: allowed.
+func newShardStats(r *obs.Registry) *stats {
+	return &stats{hits: r.Counter("shard_hits_total", "hits")}
+}
+
+func process(r *obs.Registry, n int) {
+	c := r.Counter("app_process_total", "per-call registration") // want `obs handle registered inside process`
+	_ = c
+	for i := 0; i < n; i++ {
+		r.Histogram("app_loop_seconds", "per-iteration registration", nil) // want `obs handle registered inside process`
+	}
+	_ = newShardStats(r)
+}
+
+type worker struct{}
+
+func (w *worker) run(r *obs.Registry) {
+	r.Gauge("worker_busy", "hot-path registration") // want `obs handle registered inside \(\*worker\)\.run`
+}

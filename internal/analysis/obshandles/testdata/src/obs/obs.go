@@ -1,0 +1,21 @@
+// Package obs is a stand-in for graphsketch/internal/obs with the same
+// registration surface; the analyzer matches it by import-path suffix.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return nil }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return nil }
+
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return nil
+}
+
+func OnEnable(hook func(*Registry)) {}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position: findings suppressed by a valid
+// //lint:ignore or //lint:file-ignore annotation are dropped, and
+// malformed annotations (no reason given) are themselves reported so that
+// every suppression stays a documented decision.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ig, bad := collectIgnores(pkg)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				if !ig.suppressed(pkg.Fset, d) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// ignoreSet indexes a package's lint annotations: line-level ignores keyed
+// by file and line, and file-level ignores keyed by file.
+type ignoreSet struct {
+	line map[string]map[int][]string // filename -> line -> analyzer names
+	file map[string][]string         // filename -> analyzer names
+}
+
+func (ig ignoreSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, name := range ig.file[pos.Filename] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	lines := ig.line[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans a package's comments for //lint:ignore and
+// //lint:file-ignore annotations. An annotation suppresses the named
+// analyzers on its own line and the line below it (so it can sit either at
+// the end of the flagged line or directly above it). Annotations missing
+// the mandatory reason are returned as diagnostics of their own.
+func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
+	ig := ignoreSet{
+		line: make(map[string]map[int][]string),
+		file: make(map[string][]string),
+	}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, fileWide := cutDirective(c.Text)
+				if text == "" {
+					continue
+				}
+				names, reason := splitAnnotation(text)
+				if len(names) == 0 || reason == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintdirective",
+						Message:  "malformed lint directive: want //lint:ignore <analyzer>[,...] <reason>",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if fileWide {
+					ig.file[pos.Filename] = append(ig.file[pos.Filename], names...)
+					continue
+				}
+				if ig.line[pos.Filename] == nil {
+					ig.line[pos.Filename] = make(map[int][]string)
+				}
+				ig.line[pos.Filename][pos.Line] = append(ig.line[pos.Filename][pos.Line], names...)
+			}
+		}
+	}
+	return ig, bad
+}
+
+// cutDirective strips the //lint:ignore or //lint:file-ignore prefix,
+// returning the remainder and whether the directive is file-wide; a
+// non-directive comment returns "".
+func cutDirective(comment string) (rest string, fileWide bool) {
+	if r, ok := strings.CutPrefix(comment, "//lint:ignore "); ok {
+		return r, false
+	}
+	if r, ok := strings.CutPrefix(comment, "//lint:file-ignore "); ok {
+		return r, true
+	}
+	return "", false
+}
+
+// splitAnnotation separates "name1,name2 reason..." into the analyzer list
+// and the reason text.
+func splitAnnotation(s string) (names []string, reason string) {
+	s = strings.TrimSpace(s)
+	list, reason, _ := strings.Cut(s, " ")
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(reason)
+}
+
+// EnclosingFunc returns the name of the innermost function declaration
+// enclosing pos in f ("" when pos is at package level), qualified with the
+// receiver type for methods. Shared by analyzers for diagnostics.
+func EnclosingFunc(f *ast.File, pos token.Pos) string {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos >= fd.End() {
+			continue
+		}
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			return recvString(fd.Recv.List[0].Type) + "." + fd.Name.Name
+		}
+		return fd.Name.Name
+	}
+	return ""
+}
+
+func recvString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvString(t.X) + ")"
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvString(t.X)
+	case *ast.IndexListExpr:
+		return recvString(t.X)
+	}
+	return "?"
+}

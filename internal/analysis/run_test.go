@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// TestMalformedDirectiveReported pins the documented-suppression policy: a
+// lint:ignore without a reason suppresses nothing and is itself reported.
+func TestMalformedDirectiveReported(t *testing.T) {
+	const src = `package p
+
+//lint:ignore somecheck
+var x int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{f}}
+	ig, bad := collectIgnores(pkg)
+	if len(bad) != 1 || bad[0].Analyzer != "lintdirective" {
+		t.Fatalf("bad = %+v; want one lintdirective diagnostic", bad)
+	}
+	if len(ig.line["p.go"]) != 0 || len(ig.file["p.go"]) != 0 {
+		t.Fatalf("malformed directive must not register a suppression: %+v", ig)
+	}
+}
+
+// TestSuppressionWindow pins the two-line scope of a line ignore.
+func TestSuppressionWindow(t *testing.T) {
+	const src = `package p
+
+//lint:ignore mycheck reason here
+var a int
+var b int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{f}}
+	ig, bad := collectIgnores(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %+v", bad)
+	}
+	posAtLine := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	for _, tc := range []struct {
+		line int
+		want bool
+	}{
+		{3, true},  // the directive's own line
+		{4, true},  // the line below it
+		{5, false}, // out of scope
+	} {
+		d := Diagnostic{Pos: posAtLine(tc.line), Analyzer: "mycheck"}
+		if got := ig.suppressed(fset, d); got != tc.want {
+			t.Errorf("line %d suppressed = %v; want %v", tc.line, got, tc.want)
+		}
+	}
+	other := Diagnostic{Pos: posAtLine(4), Analyzer: "othercheck"}
+	if ig.suppressed(fset, other) {
+		t.Error("suppression leaked to an analyzer not named in the directive")
+	}
+}
+
+func TestCutDirective(t *testing.T) {
+	for _, tc := range []struct {
+		comment  string
+		rest     string
+		fileWide bool
+	}{
+		{"//lint:ignore seeddiscipline the bench rng never touches a sketch", "seeddiscipline the bench rng never touches a sketch", false},
+		{"//lint:file-ignore mapdeterminism generated file", "mapdeterminism generated file", true},
+		{"// ordinary comment", "", false},
+		{"//lint:ignores typo", "", false},
+	} {
+		rest, fileWide := cutDirective(tc.comment)
+		if rest != tc.rest || fileWide != tc.fileWide {
+			t.Errorf("cutDirective(%q) = %q, %v; want %q, %v",
+				tc.comment, rest, fileWide, tc.rest, tc.fileWide)
+		}
+	}
+}
+
+func TestSplitAnnotation(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		names  []string
+		reason string
+	}{
+		{"mapdeterminism json sorts keys", []string{"mapdeterminism"}, "json sorts keys"},
+		{"a,b shared reason", []string{"a", "b"}, "shared reason"},
+		{"noreason", []string{"noreason"}, ""},
+		{"", nil, ""},
+	} {
+		names, reason := splitAnnotation(tc.in)
+		if !reflect.DeepEqual(names, tc.names) || reason != tc.reason {
+			t.Errorf("splitAnnotation(%q) = %v, %q; want %v, %q",
+				tc.in, names, reason, tc.names, tc.reason)
+		}
+	}
+}

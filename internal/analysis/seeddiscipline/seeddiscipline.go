@@ -1,0 +1,83 @@
+// Package seeddiscipline flags direct math/rand (v1 or v2) minting outside
+// the two packages allowed to create randomness.
+//
+// Every guarantee in the paper rests on linearity with shared randomness:
+// two sketches may be merged only when built from identical seeds, which
+// the repo enforces by deriving all sketch randomness from one master seed
+// through internal/hashutil (SeedStream, the l0 interning registry) and by
+// generating workloads through internal/workload. A stray rand.New or a
+// call on the global source mints a seed the registry never saw — exactly
+// the "merged sketches with mismatched randomness" bug class — so only
+// hashutil (the mint) and workload (input generation, rng passed in by the
+// caller) may call into math/rand.
+//
+// Referring to the types (*rand.Rand in a signature) is fine everywhere:
+// the invariant constrains who creates generators, not who is handed one.
+// Binaries get theirs from hashutil.NewRand(seed, label).
+package seeddiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphsketch/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seeddiscipline",
+	Doc:  "flags math/rand construction and calls outside internal/hashutil and internal/workload; randomness must flow through the shared-seed registry",
+	Run:  run,
+}
+
+var randPaths = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// allowedSuffixes are the packages permitted to mint randomness. Suffix
+// matching keeps the analyzer testable against fixture modules that mirror
+// the real package layout under a different module path.
+var allowedSuffixes = []string{"/hashutil", "/workload"}
+
+func allowed(pkgPath string) bool {
+	for _, s := range allowedSuffixes {
+		if strings.HasSuffix(pkgPath, s) || pkgPath == s[1:] {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			qual, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[qual].(*types.PkgName)
+			if !ok || !randPaths[pkgName.Imported().Path()] {
+				return true
+			}
+			// Type references (rand.Rand in a signature) are allowed; only
+			// functions, variables, and constants of the package mint or
+			// consume generator state.
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"use of %s.%s outside internal/hashutil and internal/workload: sketch randomness must be minted through the shared-seed registry (hashutil.NewRand)",
+				pkgName.Imported().Path(), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

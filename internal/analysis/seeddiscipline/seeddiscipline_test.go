@@ -1,0 +1,12 @@
+package seeddiscipline_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/seeddiscipline"
+)
+
+func TestSeedDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/src", seeddiscipline.Analyzer)
+}

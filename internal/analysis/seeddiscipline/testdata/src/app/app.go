@@ -1,0 +1,22 @@
+// Package app is the seeddiscipline golden fixture: minting randomness
+// outside the sanctioned packages is flagged; naming the types is not.
+package app
+
+import "math/rand/v2"
+
+type Gen struct {
+	rng *rand.Rand // type reference: allowed everywhere
+}
+
+func New() *Gen {
+	return &Gen{rng: rand.New(rand.NewPCG(1, 2))} // want `use of math/rand/v2\.New outside` `use of math/rand/v2\.NewPCG outside`
+}
+
+func roll() int {
+	return rand.IntN(6) // want `use of math/rand/v2\.IntN outside`
+}
+
+// consume only uses a generator handed in by the caller: allowed.
+func consume(rng *rand.Rand) int {
+	return rng.IntN(6)
+}

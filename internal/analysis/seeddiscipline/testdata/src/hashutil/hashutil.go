@@ -1,0 +1,9 @@
+// Package hashutil mirrors the real mint: a package whose import path ends
+// in /hashutil may construct generators.
+package hashutil
+
+import "math/rand/v2"
+
+func NewRand(seed, label uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, label))
+}

@@ -1,0 +1,9 @@
+// Package legacy shows the v1 math/rand package is covered too, through
+// an import alias.
+package legacy
+
+import mrand "math/rand"
+
+func Source() *mrand.Rand {
+	return mrand.New(mrand.NewSource(42)) // want `use of math/rand\.New outside` `use of math/rand\.NewSource outside`
+}

@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 
 	"graphsketch/internal/graph"
+	"graphsketch/internal/hashutil"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -34,7 +35,7 @@ func RunGenstream(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	rng := rand.New(rand.NewPCG(*seed, 0x9e3779b9))
+	rng := hashutil.NewRand(*seed, 0x9e3779b9)
 	var g *graph.Hypergraph
 	var err error
 	switch *family {

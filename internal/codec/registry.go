@@ -39,6 +39,7 @@ func RegisteredTags() []Tag {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	tags := make([]Tag, 0, len(openers))
+	//lint:ignore mapdeterminism collected tags are sorted before return; iteration order cannot reach the caller
 	for t := range openers {
 		tags = append(tags, t)
 	}

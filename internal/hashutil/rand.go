@@ -1,0 +1,16 @@
+package hashutil
+
+import "math/rand/v2"
+
+// NewRand mints a deterministic PCG generator from a master seed and a
+// stream label. It is the module's only sanctioned way to construct a
+// *rand.Rand: the seeddiscipline analyzer (internal/analysis) forbids
+// direct math/rand construction outside this package and
+// internal/workload, so every generator in binaries, examples, and
+// experiments traces back to an auditable (seed, label) pair — the same
+// shared-randomness discipline the sketch registry enforces for hash
+// seeds. Distinct labels under one seed yield independent streams;
+// identical pairs reproduce identical runs.
+func NewRand(seed, label uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, label))
+}

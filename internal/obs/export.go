@@ -82,6 +82,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	out := make(map[string]any)
 	for _, f := range r.snapshot() {
 		f.mu.Lock()
+		//lint:ignore mapdeterminism iteration order cannot reach the output: series land in the out map and encoding/json sorts object keys
 		for ls, m := range f.series {
 			key := f.name + ls
 			switch m := m.(type) {
