@@ -38,16 +38,16 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # Full-measurement benchmarks emitted as machine-readable JSON, with
-# improvement percentages against the checked-in PR2 results when present
-# (the obs-disabled numbers must stay within noise of them; parallel-obs
-# shows the <= 5% enabled overhead). Raise BENCHCOUNT (e.g. 5) for stable
-# numbers.
+# improvement percentages against the checked-in PR4 results when present
+# (the ingest/decode numbers must stay within noise of them; the Oracle
+# pair pins the warm-cache >= 100x query speedup from PR6). Raise
+# BENCHCOUNT (e.g. 5) for stable numbers.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint)' -benchmem \
+	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint|Oracle)' -benchmem \
 		-count $(BENCHCOUNT) -benchtime $(BENCHTIME) . \
-	| $(GO) run ./cmd/benchjson -out BENCH_pr4.json \
-		-baseline BENCH_pr3.json \
-		-label "PR4 versioned wire codec (count=$(BENCHCOUNT))"
+	| $(GO) run ./cmd/benchjson -out BENCH_pr6.json \
+		-baseline BENCH_pr4.json \
+		-label "PR6 oracle query layer (count=$(BENCHCOUNT))"
 
 # Wire-format gate: the codec corruption/round-trip suite and the root
 # checkpoint conformance harness under the race detector, plus a fuzz smoke
@@ -63,7 +63,7 @@ codec-check:
 # endpoint smoke test — the fast loop CI runs on every push (race over the
 # whole module is the `race` target).
 obs-check:
-	$(GO) test -race ./internal/engine/ ./internal/obs/
+	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/oracle/
 	$(GO) test -run TestObsEndpointSmoke ./cmd/experiments/
 
 fmt-check:
@@ -71,7 +71,8 @@ fmt-check:
 		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 # Static analysis gate: the in-tree invariant suite (cmd/gsvet —
-# mapdeterminism, seeddiscipline, obshandles, checkpointopener) plus the
+# mapdeterminism, seeddiscipline, obshandles, checkpointopener,
+# epochguard) plus the
 # pinned external linters. gsvet needs only the Go toolchain and always
 # runs; see the version pins above for the external-tool gating.
 lint: lint-gsvet lint-staticcheck lint-govulncheck

@@ -13,6 +13,20 @@ import (
 // are reported by the per-package sentinels, e.g. sketch.ErrSeedMismatch.
 var ErrMergeMismatch = errors.New("graphsketch: cannot merge sketches of different types")
 
+// ErrStaleDecode is returned (wrapped) by Querier and Oracle methods when a
+// query cannot be served because rebuilding the cached snapshot failed: the
+// sketch's decode budget was exhausted (sketch.ErrDecodeFailed under the
+// wrap) and no fresh snapshot exists for the current epoch. The sketch state
+// itself is intact — more updates may make decode succeed again, or the
+// sketch was under-provisioned for the stream (raise Rounds or the sampler
+// shape). Callers distinguish this operational condition from programmer
+// errors (ErrVertexRange, merge mismatches) with errors.Is.
+var ErrStaleDecode = errors.New("graphsketch: snapshot rebuild failed, serving would use a stale decode")
+
+// ErrVertexRange is returned by Querier and Oracle methods when a query
+// names a vertex outside the sketch's vertex space [0, n).
+var ErrVertexRange = errors.New("graphsketch: query vertex out of range")
+
 // Updater consumes weighted hyperedge updates. A deletion is an update with
 // negative weight; every sketch in this repository is linear, so updates in
 // any order and grouping produce the same state.
@@ -56,18 +70,15 @@ type Mergeable interface {
 //     checksummed envelope that verifies identity before merging. Marshal
 //     remains useful in-process, where both endpoints are known to share
 //     construction — it is the compact interior of a checkpoint frame.
+//   - Unmarshal restores (by linear addition) contents produced by Marshal
+//     on an identically-constructed sketch. Calling it on a non-empty
+//     sketch adds the two states, which is itself meaningful by linearity.
+//     The same no-identity warning as Marshal applies; prefer Checkpointer.
 type Sketch interface {
 	Updater
 	Mergeable
 	Words() int
 	Marshal() []byte
-}
-
-// Unmarshaler restores (by linear addition) sketch contents produced by
-// Marshal on an identically-constructed sketch. Calling it on a non-empty
-// sketch adds the two states, which is itself meaningful by linearity.
-// The same no-identity warning as Marshal applies; prefer Checkpointer.
-type Unmarshaler interface {
 	Unmarshal(data []byte) error
 }
 
@@ -115,4 +126,45 @@ type Sharded interface {
 	// UpdateBatchRange applies the batch restricted to endpoints in
 	// [lo, hi).
 	UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error
+}
+
+// Querier answers pairwise connectivity queries against the most recent
+// decoded snapshot of a sketch. Update is nanoseconds while decode (BuildH,
+// skeleton peeling) is milliseconds, so a serving layer must not decode per
+// query; implementations (internal/oracle) cache the decoded spanning
+// forest / H behind a monotonic epoch counter, invalidate lazily when
+// mutations advance the epoch, and rebuild at most once per dirty epoch.
+//
+// Connected reports whether u and v are connected in the sketched
+// (hyper)graph, answered from the cached snapshot in O(α(n)) — a DSU
+// lookup, with no decode on a warm cache. It returns ErrVertexRange for
+// vertices outside [0, n) and an ErrStaleDecode-wrapping error when the
+// snapshot needed rebuilding and the decode failed.
+//
+// Implementations are safe for concurrent use: any number of Connected
+// callers may race with each other and with mutations through the same
+// oracle.
+type Querier interface {
+	Connected(u, v int) (bool, error)
+}
+
+// Oracle is the full query-serving surface over a sketch: pairwise
+// connectivity plus vertex-cut queries, both against the same cached
+// snapshot.
+//
+// DisconnectedBy reports whether removing the vertex set S (drop-incident
+// semantics: every hyperedge touching S is removed) disconnects the
+// sketched graph's surviving vertices. Against a vertexconn.Sketch
+// snapshot this is the paper's Theorem 4 query — exact w.h.p. for
+// |S| ≤ K; against a spanning-forest or skeleton snapshot it is one-sided
+// (the snapshot is a sparse certificate of G, so a "still connected"
+// answer may miss paths of G outside the certificate).
+//
+// Epoch returns the current mutation epoch: it advances on every mutation
+// through the oracle, and a snapshot is served only while its recorded
+// epoch matches — the staleness contract the epochguard lint enforces.
+type Oracle interface {
+	Querier
+	DisconnectedBy(remove []int) (bool, error)
+	Epoch() uint64
 }

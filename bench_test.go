@@ -21,6 +21,7 @@ import (
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
 	"graphsketch/internal/obs"
+	"graphsketch/internal/oracle"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
@@ -146,7 +147,10 @@ func BenchmarkE6Reconstruct(b *testing.B) {
 	h := workload.PaperExample()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := reconstruct.NewWithDomain(uint64(i), h.Domain(), 2, sketch.SpanningConfig{})
+		s, err := reconstruct.New(reconstruct.Params{N: h.N(), R: h.Domain().R(), K: 2, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := s.UpdateGraph(h, 1); err != nil {
 			b.Fatal(err)
 		}
@@ -253,7 +257,10 @@ func BenchmarkE10Ablations(b *testing.B) {
 func BenchmarkE11Extensions(b *testing.B) {
 	h := workload.MustHarary(16, 4)
 	for i := 0; i < b.N; i++ {
-		ec := edgeconn.NewWithDomain(uint64(i), h.Domain(), 6, sketch.SpanningConfig{})
+		ec, err := edgeconn.New(edgeconn.Params{N: h.N(), R: h.Domain().R(), K: 6, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := ec.UpdateGraph(h, 1); err != nil {
 			b.Fatal(err)
 		}
@@ -407,6 +414,63 @@ func BenchmarkCheckpointRead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := codec.Open(bytes.NewReader(frame)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// oracleBench streams the E1 workload into a vertex-connectivity sketch
+// and wraps it in the query oracle; both oracle benchmarks share it so
+// warm-vs-cold measures only the cache discipline.
+func oracleBench(b *testing.B) *oracle.Oracle {
+	b.Helper()
+	n, k := 24, 3
+	h := workload.MustHarary(n, k)
+	rng := rand.New(rand.NewPCG(1, 1))
+	st := stream.WithChurn(h, workload.ErdosRenyi(rng, n, 0.3), rng)
+	s, err := vertexconn.New(vertexconn.Params{N: n, K: k, Subgraphs: 48, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := stream.Apply(st, s); err != nil {
+		b.Fatal(err)
+	}
+	return oracle.ForVertexConn(s)
+}
+
+// BenchmarkOracleConnectedWarm times Connected on a warm epoch cache: the
+// priming query pays the one decode, every timed iteration is two flat
+// component-array lookups. The PR6 acceptance bar is >= 100x over
+// BenchmarkOracleDecodePerQuery.
+func BenchmarkOracleConnectedWarm(b *testing.B) {
+	orc := oracleBench(b)
+	if _, err := orc.Connected(0, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := orc.Connected(i%24, (i*7+1)%24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleDecodePerQuery is the counterfactual the oracle replaces:
+// a net-zero update pair before every query dirties the sketch (as any
+// real mutation batch would), so each Connected pays the full BuildH
+// decode — the per-query cost every caller paid before PR6.
+func BenchmarkOracleDecodePerQuery(b *testing.B) {
+	orc := oracleBench(b)
+	e := graph.MustEdge(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := orc.Update(e, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := orc.Update(e, -1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := orc.Connected(i%24, (i*7+1)%24); err != nil {
 			b.Fatal(err)
 		}
 	}

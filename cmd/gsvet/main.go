@@ -1,6 +1,6 @@
 // Command gsvet is the repository's invariant multichecker: it runs the
 // internal/analysis suite — mapdeterminism, seeddiscipline, obshandles,
-// checkpointopener — over the module and exits nonzero on any finding.
+// checkpointopener, epochguard — over the module and exits nonzero on any finding.
 //
 // Usage:
 //
@@ -23,6 +23,7 @@ import (
 
 	"graphsketch/internal/analysis"
 	"graphsketch/internal/analysis/checkpointopener"
+	"graphsketch/internal/analysis/epochguard"
 	"graphsketch/internal/analysis/mapdeterminism"
 	"graphsketch/internal/analysis/obshandles"
 	"graphsketch/internal/analysis/seeddiscipline"
@@ -30,6 +31,7 @@ import (
 
 var suite = []*analysis.Analyzer{
 	checkpointopener.Analyzer,
+	epochguard.Analyzer,
 	mapdeterminism.Analyzer,
 	obshandles.Analyzer,
 	seeddiscipline.Analyzer,

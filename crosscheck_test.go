@@ -89,7 +89,10 @@ func TestCrossCheckRandomizedStreams(t *testing.T) {
 
 		// 2. Edge connectivity via skeleton, vs MA-ordering and Karger.
 		kCap := 5
-		ec := edgeconn.NewWithDomain(uint64(iter)+99, final.Domain(), kCap, sketch.SpanningConfig{})
+		ec, err := edgeconn.New(edgeconn.Params{N: final.N(), R: final.Domain().R(), K: kCap, Seed: uint64(iter) + 99})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := stream.Apply(st, ec); err != nil {
 			t.Fatal(err)
 		}

@@ -5,16 +5,31 @@
 // hyperedge insertions and deletions.
 //
 // This root package declares the interfaces every sketch in the library
-// satisfies: Updater (Update / UpdateBatch), Mergeable, Sketch (adds Words
-// and Marshal), Unmarshaler, and Sharded — the contract that lets
+// satisfies: Updater (Update / UpdateBatch), Mergeable, Sketch (adds Words,
+// Marshal, and Unmarshal), and Sharded — the contract that lets
 // internal/engine ingest updates through a lock-free vertex-sharded worker
 // pool and decode with fan-out, with results byte-identical to serial
-// execution. Constructors across the library follow one convention: a
-// Params struct whose zero fields receive sound defaults, returning
-// (*Sketch, error); incompatibilities and decode failures are reported via
-// sentinel errors (graphsketch.ErrMergeMismatch, sketch.ErrDecodeFailed,
-// sketch.ErrSeedMismatch, sketch.ErrDomainMismatch,
+// execution — plus the query-serving side: Querier (Connected(u,v) answered
+// from an epoch-cached snapshot in O(α(n))) and Oracle (adds vertex-cut
+// DisconnectedBy and the Epoch counter), implemented by internal/oracle
+// for the spanning, skeleton, vertex-connectivity, edge-connectivity, and
+// sparsifier sketches. Constructors across the library follow one
+// convention: a Params struct whose zero fields receive sound defaults,
+// returning (*Sketch, error); incompatibilities and decode failures are
+// reported via sentinel errors (graphsketch.ErrMergeMismatch,
+// graphsketch.ErrStaleDecode, graphsketch.ErrVertexRange,
+// sketch.ErrDecodeFailed, sketch.ErrSeedMismatch, sketch.ErrDomainMismatch,
 // sketch.ErrConfigMismatch) for errors.Is branching.
+//
+// The contracts, from narrowest to widest:
+//
+//	Updater    Update, UpdateBatch            one ±1 update / amortized batch
+//	Mergeable  Merge                          add an identically-parameterized sketch
+//	Sketch     Updater + Mergeable + Words, Marshal, Unmarshal
+//	Sharded    Sketch + NumVertices, UpdateBatchRange   parallel-ingestion contract
+//	Checkpointer  Sketch + WriteTo, ReadFrom     framed wire-format checkpoints
+//	Querier    Connected                      pairwise reachability, epoch-cached
+//	Oracle     Querier + DisconnectedBy, Epoch          vertex-cut queries, staleness
 //
 // The implementation lives under internal/:
 //
@@ -26,6 +41,8 @@
 //     (Theorems 19/20)
 //   - internal/sketch — the AGM spanning-graph sketch generalized to
 //     hypergraphs (Theorem 13) and k-skeletons (Theorem 14)
+//   - internal/oracle — the concurrent query-serving layer: epoch-cached
+//     decode, single-flight rebuild, DSU connectivity answers
 //   - internal/engine — parallel ingestion (vertex-sharded worker pool)
 //     and parallel skeleton decode
 //   - internal/l0, internal/recovery, internal/field, internal/hashutil —

@@ -23,6 +23,7 @@ import (
 
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/hashutil"
+	"graphsketch/internal/oracle"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -85,4 +86,18 @@ func main() {
 		fmt.Printf("%-20s %8d   %14d   %7.3f\n", p.name, trueCut, spCut, relErr)
 	}
 	fmt.Println("\nthe planted block partition has the smallest cut on both — the\nsparsifier can stand in for the full structure during partitioning.")
+
+	// Connectivity questions ("do columns u and v ever appear in a row
+	// chain together?") go through the oracle: the sparsifier preserves
+	// every cut within the target factor, so a zero cut — disconnection —
+	// is preserved exactly, and the oracle's cached decode answers each
+	// pair without re-running the sparsifier pipeline.
+	orc := oracle.ForSparsify(sk)
+	ok, err := orc.Connected(0, n-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := orc.CacheStats()
+	fmt.Printf("\ncolumns 0 and %d share a row chain: %v (answered from cache: %d rebuild)\n",
+		n-1, ok, cs.Rebuilds)
 }

@@ -35,7 +35,10 @@ func TestFullPipelineAllSketches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ec := edgeconn.NewWithDomain(2, final.Domain(), 5, sketch.SpanningConfig{})
+	ec, err := edgeconn.New(edgeconn.Params{N: n, R: final.Domain().R(), K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sp, err := sparsify.New(sparsify.Params{N: n, K: 8, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +130,10 @@ func TestReconstructionAgainstGroundTruthFamilies(t *testing.T) {
 		if got := graphalg.CutDegeneracy(fam.g); got > int64(fam.d) {
 			t.Fatalf("%s: cut-degeneracy %d exceeds expected %d", fam.name, got, fam.d)
 		}
-		s := reconstruct.NewWithDomain(7, fam.g.Domain(), fam.d, sketch.SpanningConfig{})
+		s, err := reconstruct.New(reconstruct.Params{N: fam.g.N(), R: fam.g.Domain().R(), K: fam.d, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
 		churn := workload.ErdosRenyi(rng, fam.g.N(), 0.3)
 		if err := stream.Apply(stream.WithChurn(fam.g, churn, rng), s); err != nil {
 			t.Fatal(err)

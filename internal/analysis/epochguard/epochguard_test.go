@@ -1,0 +1,12 @@
+package epochguard_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/epochguard"
+)
+
+func TestEpochGuard(t *testing.T) {
+	analysistest.Run(t, "testdata/src", epochguard.Analyzer)
+}

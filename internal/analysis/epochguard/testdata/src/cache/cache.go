@@ -1,0 +1,90 @@
+// Package cache exercises the epochguard analyzer: reads of a
+// cached-snapshot field must sit in a function that either checks the
+// field's staleness in a condition or holds a rebuild lock.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type box struct {
+	mu   sync.Mutex
+	snap *string // cached decoded snapshot; nil when stale
+	live *string // ordinary field, not marked
+}
+
+// BadRead serves the cache with no staleness check and no lock.
+func (b *box) BadRead() *string {
+	return b.snap // want `cached-snapshot field snap read in BadRead`
+}
+
+// GuardedRead checks staleness first; the function-granular rule also
+// covers the read after the if block (the Skeleton() idiom).
+func (b *box) GuardedRead() *string {
+	if b.snap == nil {
+		b.rebuild()
+	}
+	return b.snap
+}
+
+// LockedRead reads under the rebuild lock.
+func (b *box) LockedRead() *string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.snap
+}
+
+// Invalidate and rebuild write the field — writes are always allowed.
+func (b *box) Invalidate() {
+	b.snap = nil
+}
+
+func (b *box) rebuild() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := "decoded"
+	b.snap = &s
+}
+
+// Live touches only an unmarked field.
+func (b *box) Live() *string {
+	return b.live
+}
+
+// InitLoop shows a for-loop staleness check counting as a guard.
+func (b *box) InitLoop() int {
+	n := 0
+	for b.snap == nil {
+		b.rebuild()
+		n++
+	}
+	return len(*b.snap) + n
+}
+
+type abox struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[string] // cached snapshot; epoch-checked on load
+}
+
+// FastPath is the oracle idiom: load into the if-init, check, serve.
+func (a *abox) FastPath() *string {
+	if s := a.snap.Load(); s != nil {
+		return s
+	}
+	return a.slow()
+}
+
+// slow publishes through .Store under the lock — a write, never flagged.
+func (a *abox) slow() *string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := "rebuilt"
+	a.snap.Store(&s)
+	return &s
+}
+
+// BadLoad loads the snapshot with neither an epoch check nor the lock.
+func (a *abox) BadLoad() *string {
+	return a.snap.Load() // want `cached-snapshot field snap read in BadLoad`
+}

@@ -23,6 +23,7 @@ import (
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/obs"
+	"graphsketch/internal/oracle"
 	"graphsketch/internal/plan"
 	"graphsketch/internal/stream"
 )
@@ -153,6 +154,32 @@ func readAndApply(path string, stdin io.Reader, sink stream.Sink) (stream.Stream
 	return st, nil
 }
 
+// parsePair parses "u,v" into two vertices, validating against n.
+func parsePair(spec string, n int) (int, int, error) {
+	f := strings.Split(spec, ",")
+	if len(f) != 2 {
+		return 0, 0, fmt.Errorf("want 'u,v', got %q", spec)
+	}
+	u, err1 := strconv.Atoi(strings.TrimSpace(f[0]))
+	v, err2 := strconv.Atoi(strings.TrimSpace(f[1]))
+	if err1 != nil || err2 != nil || u < 0 || u >= n || v < 0 || v >= n {
+		return 0, 0, fmt.Errorf("bad pair %q (want vertices 0..%d)", spec, n-1)
+	}
+	return u, v, nil
+}
+
+// sortedVertices flattens a vertex set into an ascending slice without
+// iterating the map (ordering stays deterministic for free).
+func sortedVertices(set map[int]bool, n int) []int {
+	out := make([]int, 0, len(set))
+	for v := 0; v < n; v++ {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // parseVertexSet parses "1,2,3" into a set, validating against n.
 func parseVertexSet(spec string, n int) (map[int]bool, error) {
 	set := map[int]bool{}
@@ -177,6 +204,7 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	profile := fs.String("profile", "balanced", "parameter profile: lean | balanced | theory")
 	seed := fs.Uint64("seed", 1, "random seed")
 	query := fs.String("query", "", "comma-separated vertex set to test for disconnection")
+	connected := fs.String("connected", "", "report whether the pair 'u,v' is connected, served from the oracle's cached decode")
 	estimate := fs.Bool("estimate", false, "estimate vertex connectivity (graphs only)")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
 	save := fs.String("save", "", "write the raw sketch state to this file after consuming the stream (legacy; prefer -checkpoint)")
@@ -192,8 +220,8 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
-	if *query == "" && !*estimate && *save == "" && *ckpt == "" {
-		return errors.New("need -query, -estimate, -save, or -checkpoint")
+	if *query == "" && *connected == "" && !*estimate && *save == "" && *ckpt == "" {
+		return errors.New("need -query, -connected, -estimate, -save, or -checkpoint")
 	}
 
 	var p vertexconn.Params
@@ -258,12 +286,15 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Queries serve through the oracle layer: one decode builds the cached
+	// H snapshot, and every query after it is answered from the cache.
+	orc := oracle.ForVertexConn(s)
 	if *query != "" {
 		set, err := parseVertexSet(*query, *n)
 		if err != nil {
 			return err
 		}
-		disc, err := s.Disconnects(set)
+		disc, err := orc.DisconnectedBy(sortedVertices(set, *n))
 		if err != nil {
 			return err
 		}
@@ -271,6 +302,21 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "removing %v DISCONNECTS the graph\n", *query)
 		} else {
 			fmt.Fprintf(stdout, "removing %v leaves the graph connected\n", *query)
+		}
+	}
+	if *connected != "" {
+		u, v, err := parsePair(*connected, *n)
+		if err != nil {
+			return err
+		}
+		ok, err := orc.Connected(u, v)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Fprintf(stdout, "%d and %d are connected\n", u, v)
+		} else {
+			fmt.Fprintf(stdout, "%d and %d are NOT connected\n", u, v)
 		}
 	}
 	if *estimate {
@@ -443,6 +489,7 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	k := fs.Int("k", 4, "cut values below k are exact; larger report '>= k'")
 	seed := fs.Uint64("seed", 1, "random seed")
 	st := fs.String("st", "", "report the s-t cut for this 'u,v' pair instead of the global min cut")
+	connected := fs.String("connected", "", "report whether the pair 'u,v' is connected, served from the oracle's cached skeleton")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
 	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
@@ -477,6 +524,22 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "stream: %d updates; sketch %d KiB (k=%d skeleton)\n",
 		len(updates), s.Words()*8/1024, *k)
 
+	if *connected != "" {
+		u, v, err := parsePair(*connected, *n)
+		if err != nil {
+			return err
+		}
+		ok, err := oracle.ForEdgeConn(s).Connected(u, v)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Fprintf(stdout, "%d and %d are connected\n", u, v)
+		} else {
+			fmt.Fprintf(stdout, "%d and %d are NOT connected\n", u, v)
+		}
+		return nil
+	}
 	if *st != "" {
 		set, err := parseVertexSet(*st, *n)
 		if err != nil || len(set) != 2 {

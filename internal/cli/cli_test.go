@@ -381,3 +381,49 @@ func TestRunGenstreamUnknownFamily(t *testing.T) {
 		t.Fatal("unknown family accepted")
 	}
 }
+
+func TestRunVconnConnectedPair(t *testing.T) {
+	// Two disjoint triangles: {0,1,2} and {3,4,5}.
+	in := "+ 0 1\n+ 1 2\n+ 0 2\n+ 3 4\n+ 4 5\n+ 3 5\n"
+	var out, errOut bytes.Buffer
+	err := RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "64", "-connected", "0,2", "-query", "1"},
+		strings.NewReader(in), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 and 2 are connected") {
+		t.Fatalf("connected output: %q", out.String())
+	}
+
+	out.Reset()
+	err = RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "64", "-connected", "0,4"},
+		strings.NewReader(in), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 and 4 are NOT connected") {
+		t.Fatalf("cross-component output: %q", out.String())
+	}
+
+	if err := RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "64", "-connected", "0,99"},
+		strings.NewReader(in), &out, &errOut); err == nil {
+		t.Fatal("out-of-range pair accepted")
+	}
+	if err := RunVconn([]string{"-n", "6", "-k", "1", "-subgraphs", "64", "-connected", "0,1,2"},
+		strings.NewReader(in), &out, &errOut); err == nil {
+		t.Fatal("three-vertex 'pair' accepted")
+	}
+}
+
+func TestRunEconnConnectedPair(t *testing.T) {
+	h := workload.Cycle(8)
+	in := streamText(t, h, stream.FromGraph(h))
+	var out, errOut bytes.Buffer
+	if err := RunEconn([]string{"-n", "8", "-k", "2", "-connected", "0,5"},
+		strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 and 5 are connected") {
+		t.Fatalf("econn connected output: %q", out.String())
+	}
+}

@@ -164,11 +164,7 @@ func Open(r io.Reader) (graphsketch.Sketch, error) {
 		cdm.reject(err)
 		return nil, fmt.Errorf("codec: reconstructing %v: %w", h.Tag, err)
 	}
-	u, ok := s.(graphsketch.Unmarshaler)
-	if !ok {
-		return nil, fmt.Errorf("codec: %v opener returned a %T without Unmarshal", h.Tag, s)
-	}
-	if err := u.Unmarshal(state); err != nil {
+	if err := s.Unmarshal(state); err != nil {
 		cdm.reject(err)
 		return nil, fmt.Errorf("codec: restoring %v state: %w", h.Tag, err)
 	}

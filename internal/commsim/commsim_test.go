@@ -88,8 +88,15 @@ func TestReconstructProtocolPaperExample(t *testing.T) {
 	cfg := sketch.SpanningConfig{}
 	const seed = 13
 
-	referee := reconstruct.NewWithDomain(seed, dom, 2, cfg)
-	res, err := Run(h, func() Protocol { return reconstruct.NewWithDomain(seed, dom, 2, cfg) }, referee)
+	mk := func() *reconstruct.Sketch {
+		s, err := reconstruct.New(reconstruct.Params{N: dom.N(), R: dom.R(), K: 2, Spanning: cfg, Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	referee := mk()
+	res, err := Run(h, func() Protocol { return mk() }, referee)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,18 +72,6 @@ func New(p Params) (*Sketch, error) {
 	return &Sketch{p: p, k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K, p.Spanning)}, nil
 }
 
-// NewWithDomain returns a sketch over an already-validated domain.
-//
-// Deprecated: use New with Params; this shim preserves the pre-redesign
-// positional constructor.
-func NewWithDomain(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
-	s, err := New(Params{N: dom.N(), R: dom.R(), K: k, Spanning: cfg, Seed: seed})
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Update applies a hyperedge insertion (+1) or deletion (−1).
 func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
 	s.decoded = nil
@@ -224,7 +212,4 @@ func (s *Sketch) Unmarshal(data []byte) error {
 	return s.skeleton.AddState(data)
 }
 
-var (
-	_ graphsketch.Sharded     = (*Sketch)(nil)
-	_ graphsketch.Unmarshaler = (*Sketch)(nil)
-)
+var _ graphsketch.Sharded = (*Sketch)(nil)

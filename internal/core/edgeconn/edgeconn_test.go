@@ -7,7 +7,6 @@ import (
 
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
-	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -21,7 +20,7 @@ func TestEdgeConnectivityExactBelowK(t *testing.T) {
 			t.Fatal(err)
 		}
 		k := 6
-		s := NewWithDomain(uint64(trial), h.Domain(), k, sketch.SpanningConfig{})
+		s := mustNew(t, uint64(trial), h.Domain(), k)
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +52,7 @@ func TestIsKEdgeConnectedHarary(t *testing.T) {
 	// H_{k,n} is exactly k-edge-connected as well as k-vertex-connected.
 	h := workload.MustHarary(16, 4)
 	for _, k := range []int{3, 4} {
-		s := NewWithDomain(uint64(k), h.Domain(), k, sketch.SpanningConfig{})
+		s := mustNew(t, uint64(k), h.Domain(), k)
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +64,7 @@ func TestIsKEdgeConnectedHarary(t *testing.T) {
 			t.Fatalf("H_{4,16} should be %d-edge-connected", k)
 		}
 	}
-	s := NewWithDomain(9, h.Domain(), 5, sketch.SpanningConfig{})
+	s := mustNew(t, 9, h.Domain(), 5)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +83,7 @@ func TestEdgeVsVertexConnectivityGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewWithDomain(3, h.Domain(), 8, sketch.SpanningConfig{})
+	s := mustNew(t, 3, h.Domain(), 8)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +103,7 @@ func TestEdgeConnectivityWithChurn(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	final := workload.Cycle(12) // λ = 2
 	churn := workload.ErdosRenyi(rng, 12, 0.5)
-	s := NewWithDomain(5, final.Domain(), 4, sketch.SpanningConfig{})
+	s := mustNew(t, 5, final.Domain(), 4)
 	if err := stream.Apply(stream.WithChurn(final, churn, rng), s); err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +123,7 @@ func TestHypergraphEdgeConnectivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewWithDomain(7, h.Domain(), 5, sketch.SpanningConfig{})
+	s := mustNew(t, 7, h.Domain(), 5)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +142,7 @@ func TestSTCut(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		h.AddSimple(i, i+1)
 	}
-	s := NewWithDomain(11, h.Domain(), 3, sketch.SpanningConfig{})
+	s := mustNew(t, 11, h.Domain(), 3)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +157,7 @@ func TestSTCut(t *testing.T) {
 
 func TestConnectedAndCache(t *testing.T) {
 	h := workload.Cycle(8)
-	s := NewWithDomain(13, h.Domain(), 2, sketch.SpanningConfig{})
+	s := mustNew(t, 13, h.Domain(), 2)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -185,9 +184,9 @@ func TestConnectedAndCache(t *testing.T) {
 func TestVertexShareRoundTrip(t *testing.T) {
 	h := workload.Cycle(10)
 	const seed = 21
-	ref := NewWithDomain(seed, h.Domain(), 2, sketch.SpanningConfig{})
+	ref := mustNew(t, seed, h.Domain(), 2)
 	for v := 0; v < h.N(); v++ {
-		p := NewWithDomain(seed, h.Domain(), 2, sketch.SpanningConfig{})
+		p := mustNew(t, seed, h.Domain(), 2)
 		for _, e := range h.Edges() {
 			if e.Contains(v) {
 				if err := p.Update(e, 1); err != nil {
@@ -208,11 +207,15 @@ func TestVertexShareRoundTrip(t *testing.T) {
 	}
 }
 
-func TestNewWithDomainMatchesParams(t *testing.T) {
-	// The deprecated shim must route through New(Params) exactly: same
-	// randomness, same state, byte-identical serialization.
+func TestParamsConstruction(t *testing.T) {
+	// Identical Params must yield byte-identical state after identical
+	// streams (the wire-identity property checkpointing relies on), and
+	// invalid Params must be rejected, not defaulted.
 	h := workload.MustHarary(12, 3)
-	a := NewWithDomain(55, h.Domain(), 3, sketch.SpanningConfig{})
+	a, err := New(Params{N: h.N(), R: h.Domain().R(), K: 3, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
 	b, err := New(Params{N: h.N(), R: h.Domain().R(), K: 3, Seed: 55})
 	if err != nil {
 		t.Fatal(err)
@@ -224,12 +227,23 @@ func TestNewWithDomainMatchesParams(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Marshal(), b.Marshal()) {
-		t.Fatal("NewWithDomain diverges from New(Params): serialized state differs")
+		t.Fatal("identical Params diverge: serialized state differs")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewWithDomain accepted k = 0")
-		}
-	}()
-	NewWithDomain(1, h.Domain(), 0, sketch.SpanningConfig{})
+	if _, err := New(Params{N: h.N(), K: 0}); err == nil {
+		t.Fatal("New accepted K = 0")
+	}
+	if _, err := New(Params{N: 0, K: 3}); err == nil {
+		t.Fatal("New accepted N = 0")
+	}
+}
+
+// mustNew is the test shorthand for New over a validated domain with
+// default spanning configuration.
+func mustNew(tb testing.TB, seed uint64, dom graph.Domain, k int) *Sketch {
+	tb.Helper()
+	s, err := New(Params{N: dom.N(), R: dom.R(), K: k, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
 }

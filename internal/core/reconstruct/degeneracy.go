@@ -31,7 +31,11 @@ func NewDegeneracySketch(seed uint64, dom graph.Domain, dmax int, cfg sketch.Spa
 	}
 	s := &DegeneracySketch{dmax: dmax}
 	for d := 1; ; d *= 2 {
-		s.scales = append(s.scales, NewWithDomain(seed^uint64(d)*0x9e3779b9, dom, d, cfg))
+		sc, err := New(Params{N: dom.N(), R: dom.R(), K: d, Spanning: cfg, Seed: seed ^ uint64(d)*0x9e3779b9})
+		if err != nil {
+			return nil, err
+		}
+		s.scales = append(s.scales, sc)
 		if d >= dmax {
 			break
 		}

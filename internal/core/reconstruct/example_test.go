@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"graphsketch/internal/core/reconstruct"
-	"graphsketch/internal/sketch"
 	"graphsketch/internal/workload"
 )
 
@@ -12,7 +11,10 @@ import (
 // 2-cut-degenerate but NOT 2-degenerate — from a d = 2 sketch.
 func Example() {
 	g := workload.PaperExample()
-	s := reconstruct.NewWithDomain(9, g.Domain(), 2, sketch.SpanningConfig{})
+	s, err := reconstruct.New(reconstruct.Params{N: g.N(), R: g.Domain().R(), K: 2, Seed: 9})
+	if err != nil {
+		panic(err)
+	}
 	if err := s.UpdateGraph(g, 1); err != nil {
 		panic(err)
 	}

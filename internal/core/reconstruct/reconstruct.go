@@ -76,18 +76,6 @@ func New(p Params) (*Sketch, error) {
 	return &Sketch{p: p, k: p.K, skeleton: sketch.NewSkeleton(p.Seed, dom, p.K+1, p.Spanning)}, nil
 }
 
-// NewWithDomain returns a sketch over an already-validated domain.
-//
-// Deprecated: use New with Params; this shim preserves the pre-redesign
-// positional constructor.
-func NewWithDomain(seed uint64, dom graph.Domain, k int, cfg sketch.SpanningConfig) *Sketch {
-	s, err := New(Params{N: dom.N(), R: dom.R(), K: k, Spanning: cfg, Seed: seed})
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Update applies a hyperedge insertion (+1) or deletion (−1).
 func (s *Sketch) Update(e graph.Hyperedge, delta int64) error {
 	return s.skeleton.Update(e, delta)
@@ -140,10 +128,7 @@ func (s *Sketch) Marshal() []byte { return s.skeleton.State() }
 // Unmarshal merges serialized contents into the sketch (linearly).
 func (s *Sketch) Unmarshal(data []byte) error { return s.skeleton.AddState(data) }
 
-var (
-	_ graphsketch.Sharded     = (*Sketch)(nil)
-	_ graphsketch.Unmarshaler = (*Sketch)(nil)
-)
+var _ graphsketch.Sharded = (*Sketch)(nil)
 
 // LightEdges recovers light_k(G) from the sketch. Each round decodes a
 // (k+1)-skeleton of G minus everything recovered so far, extracts its weak

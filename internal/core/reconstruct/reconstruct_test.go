@@ -8,7 +8,6 @@ import (
 
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
-	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
@@ -21,7 +20,7 @@ func TestLightEdgesMatchesOffline(t *testing.T) {
 	}
 	h.AddSimple(2, 3)
 	for _, k := range []int{1, 2} {
-		s := NewWithDomain(uint64(k), h.Domain(), k, sketch.SpanningConfig{})
+		s := mustNew(t, uint64(k), h.Domain(), k)
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +40,7 @@ func TestLightEdgesRandomGraphs(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		h := workload.ErdosRenyi(rng, 12, 0.35)
 		k := 1 + trial%2
-		s := NewWithDomain(uint64(10+trial), h.Domain(), k, sketch.SpanningConfig{})
+		s := mustNew(t, uint64(10+trial), h.Domain(), k)
 		if err := s.UpdateGraph(h, 1); err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +61,7 @@ func TestReconstructPaperExample(t *testing.T) {
 	// baseline at d = 2 must fail.
 	h := workload.PaperExample()
 
-	s := NewWithDomain(42, h.Domain(), 2, sketch.SpanningConfig{})
+	s := mustNew(t, 42, h.Domain(), 2)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +87,7 @@ func TestReconstructPaperExample(t *testing.T) {
 func TestReconstructCliqueTree(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 4))
 	h := workload.CliqueTree(rng, 4, 4) // 3-cut-degenerate
-	s := NewWithDomain(7, h.Domain(), 3, sketch.SpanningConfig{})
+	s := mustNew(t, 7, h.Domain(), 3)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +104,7 @@ func TestReconstructDetectsIncomplete(t *testing.T) {
 	// K6 is 5-cut-degenerate; a k=2 reconstructor must report incomplete,
 	// not fabricate.
 	h := workload.Complete(6)
-	s := NewWithDomain(9, h.Domain(), 2, sketch.SpanningConfig{})
+	s := mustNew(t, 9, h.Domain(), 2)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +123,7 @@ func TestReconstructWithDeletions(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 6))
 	final := workload.CliqueTree(rng, 3, 3) // 2-cut-degenerate
 	churn := workload.ErdosRenyi(rng, final.N(), 0.4)
-	s := NewWithDomain(11, final.Domain(), 2, sketch.SpanningConfig{})
+	s := mustNew(t, 11, final.Domain(), 2)
 	if err := stream.Apply(stream.WithChurn(final, churn, rng), s); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +144,7 @@ func TestReconstructHypergraph(t *testing.T) {
 	h.AddSimple(2, 3, 4)
 	h.AddSimple(4, 5, 6)
 	h.AddSimple(6, 7, 8)
-	s := NewWithDomain(13, h.Domain(), 1, sketch.SpanningConfig{})
+	s := mustNew(t, 13, h.Domain(), 1)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +202,7 @@ func TestSpaceComparisonBeckerVsSkeleton(t *testing.T) {
 	// Both are O(d·n·polylog); the point of E6 is capability, not size,
 	// but the accounting must at least be present and consistent.
 	h := workload.PaperExample()
-	s := NewWithDomain(1, h.Domain(), 2, sketch.SpanningConfig{})
+	s := mustNew(t, 1, h.Domain(), 2)
 	b := NewBecker(1, h.N(), 2, 2)
 	if err := s.UpdateGraph(h, 1); err != nil {
 		t.Fatal(err)
@@ -226,11 +225,15 @@ func TestSpaceComparisonBeckerVsSkeleton(t *testing.T) {
 	}
 }
 
-func TestNewWithDomainMatchesParams(t *testing.T) {
-	// The deprecated shim must route through New(Params) exactly: same
-	// randomness, same state, byte-identical serialization.
+func TestParamsConstruction(t *testing.T) {
+	// Identical Params must yield byte-identical state after identical
+	// streams (the wire-identity property checkpointing relies on), and
+	// invalid Params must be rejected, not defaulted.
 	h := workload.PaperExample()
-	a := NewWithDomain(77, h.Domain(), 2, sketch.SpanningConfig{})
+	a, err := New(Params{N: h.N(), R: h.Domain().R(), K: 2, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
 	b, err := New(Params{N: h.N(), R: h.Domain().R(), K: 2, Seed: 77})
 	if err != nil {
 		t.Fatal(err)
@@ -242,12 +245,23 @@ func TestNewWithDomainMatchesParams(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Marshal(), b.Marshal()) {
-		t.Fatal("NewWithDomain diverges from New(Params): serialized state differs")
+		t.Fatal("identical Params diverge: serialized state differs")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewWithDomain accepted k = 0")
-		}
-	}()
-	NewWithDomain(1, h.Domain(), 0, sketch.SpanningConfig{})
+	if _, err := New(Params{N: h.N(), K: 0}); err == nil {
+		t.Fatal("New accepted K = 0")
+	}
+	if _, err := New(Params{N: 0, K: 2}); err == nil {
+		t.Fatal("New accepted N = 0")
+	}
+}
+
+// mustNew is the test shorthand for New over a validated domain with
+// default spanning configuration.
+func mustNew(tb testing.TB, seed uint64, dom graph.Domain, k int) *Sketch {
+	tb.Helper()
+	s, err := New(Params{N: dom.N(), R: dom.R(), K: k, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
 }

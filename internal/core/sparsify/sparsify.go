@@ -275,10 +275,7 @@ func (s *Sketch) Unmarshal(data []byte) error {
 	return nil
 }
 
-var (
-	_ graphsketch.Sharded     = (*Sketch)(nil)
-	_ graphsketch.Unmarshaler = (*Sketch)(nil)
-)
+var _ graphsketch.Sharded = (*Sketch)(nil)
 
 // Params returns the (defaulted) parameters.
 func (s *Sketch) Params() Params { return s.p }

@@ -178,10 +178,7 @@ func (e *Estimator) Unmarshal(data []byte) error {
 	return nil
 }
 
-var (
-	_ graphsketch.Sharded     = (*Estimator)(nil)
-	_ graphsketch.Unmarshaler = (*Estimator)(nil)
-)
+var _ graphsketch.Sharded = (*Estimator)(nil)
 
 // Scales returns the number of maintained scales.
 func (e *Estimator) Scales() int { return len(e.scales) }

@@ -425,10 +425,7 @@ func (s *Sketch) Marshal() []byte { return s.State() }
 // AddState.
 func (s *Sketch) Unmarshal(data []byte) error { return s.AddState(data) }
 
-var (
-	_ graphsketch.Sharded     = (*Sketch)(nil)
-	_ graphsketch.Unmarshaler = (*Sketch)(nil)
-)
+var _ graphsketch.Sharded = (*Sketch)(nil)
 
 // EstimateConnectivityDrop post-processes H with the exact drop-semantics
 // vertex-connectivity oracle and returns κ_drop(H) capped at limit. Drop

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -8,6 +9,24 @@ import (
 	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
+
+// ErrDecodeExhausted is the typed sentinel wrapped into every skeleton
+// decode failure that is caused by a layer's sketch running out of decode
+// budget (sketch.ErrDecodeFailed under the wrap) — the operational "sketch
+// exhausted" condition, as opposed to programmer errors such as subtracting
+// a forest over a mismatched domain, which are returned unwrapped. The
+// query-serving oracle branches on this sentinel to report
+// graphsketch.ErrStaleDecode instead of treating the failure as fatal.
+var ErrDecodeExhausted = errors.New("engine: skeleton decode exhausted")
+
+// decodeErr wraps a layer decode failure: exhaustion gets the typed
+// sentinel, anything else passes through for errors.Is on its own cause.
+func decodeErr(layer int, err error) error {
+	if errors.Is(err, sketch.ErrDecodeFailed) {
+		return fmt.Errorf("%w: layer %d: %w", ErrDecodeExhausted, layer, err)
+	}
+	return fmt.Errorf("engine: skeleton layer %d: %w", layer, err)
+}
 
 // DecodeSkeleton decodes a k-skeleton from sk with the peeling work spread
 // over all CPUs, producing exactly the result of sk.Skeleton(): F_i still
@@ -20,7 +39,10 @@ func DecodeSkeleton(sk *sketch.SkeletonSketch) (*graph.Hypergraph, error) {
 }
 
 // DecodeSkeletonWorkers is DecodeSkeleton with an explicit worker count
-// (<= 0 means GOMAXPROCS).
+// (<= 0 means GOMAXPROCS). Decode-budget exhaustion in any layer is
+// reported wrapped in ErrDecodeExhausted (and, transitively,
+// sketch.ErrDecodeFailed); other errors indicate misuse and are returned
+// without the sentinel.
 func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hypergraph, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -28,7 +50,11 @@ func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hyper
 	if workers == 1 {
 		// No parallelism available: the serial peel clones one layer at a
 		// time and keeps a single working set, which is strictly cheaper.
-		return sk.Skeleton()
+		h, err := sk.Skeleton()
+		if err != nil && errors.Is(err, sketch.ErrDecodeFailed) {
+			return nil, fmt.Errorf("%w: %w", ErrDecodeExhausted, err)
+		}
+		return h, err
 	}
 	sp := obs.StartSpan("engine.decode_skeleton", em.decodeSpan)
 	defer sp.End("k", sk.K(), "workers", workers)
@@ -44,7 +70,7 @@ func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hyper
 	for i := range work {
 		f, err := work[i].SpanningGraph()
 		if err != nil {
-			return nil, fmt.Errorf("sketch: skeleton layer %d: %w", i, err)
+			return nil, decodeErr(i, err)
 		}
 		// Subtract F_i from every later layer so each decodes the graph
 		// minus all earlier forests; the subtractions touch disjoint

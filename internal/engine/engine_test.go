@@ -13,6 +13,7 @@ import (
 	"graphsketch/internal/core/vertexconn"
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/l0"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
@@ -253,5 +254,43 @@ func TestForEach(t *testing.T) {
 	}
 	if err := engine.ForEach(4, 0, func(int) error { return errA }); err != nil {
 		t.Fatalf("n=0: got %v, want nil", err)
+	}
+}
+
+// TestDecodeExhaustedSentinel pins the typed failure contract of the
+// decode fan-out: when a layer's sketch runs out of decode budget, the
+// error carries BOTH engine.ErrDecodeExhausted and (transitively)
+// sketch.ErrDecodeFailed, so the query-serving oracle can distinguish the
+// operational "sketch exhausted" condition from programmer errors.
+func TestDecodeExhaustedSentinel(t *testing.T) {
+	// A 32-path with one Boruvka round and minimal samplers cannot decode;
+	// try several seeds so at least one fails in both code paths.
+	tiny := sketch.SpanningConfig{Rounds: 1, Sampler: l0.Config{S: 1, Rows: 1, MaxLevels: 2}}
+	h := graph.NewGraph(32)
+	for i := 0; i < 31; i++ {
+		h.AddSimple(i, i+1)
+	}
+	for _, workers := range []int{1, 4} {
+		fails := 0
+		for trial := 0; trial < 20; trial++ {
+			sk := sketch.NewSkeleton(uint64(trial), h.Domain(), 2, tiny)
+			if err := sk.UpdateGraph(h, 1); err != nil {
+				t.Fatal(err)
+			}
+			_, err := engine.DecodeSkeletonWorkers(sk, workers)
+			if err == nil {
+				continue
+			}
+			fails++
+			if !errors.Is(err, engine.ErrDecodeExhausted) {
+				t.Fatalf("workers=%d: decode failure lacks ErrDecodeExhausted: %v", workers, err)
+			}
+			if !errors.Is(err, sketch.ErrDecodeFailed) {
+				t.Fatalf("workers=%d: decode failure lacks sketch.ErrDecodeFailed: %v", workers, err)
+			}
+		}
+		if fails == 0 {
+			t.Fatalf("workers=%d: undersized skeleton decoded a 32-path in all 20 trials", workers)
+		}
 	}
 }

@@ -1,0 +1,72 @@
+package oracle
+
+import (
+	"graphsketch/internal/core/edgeconn"
+	"graphsketch/internal/core/sparsify"
+	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/engine"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/sketch"
+)
+
+// ForSpanning serves connectivity queries from a spanning-graph sketch:
+// the snapshot is the decoded spanning forest, so Connected answers are
+// exactly the connectivity of the sketched graph (w.h.p.), and
+// DisconnectedBy is one-sided (the forest is a certificate, not G).
+func ForSpanning(s *sketch.SpanningSketch) *Oracle {
+	return mustNew(Config{
+		Sketch: s,
+		N:      s.NumVertices(),
+		Decode: func() (*graph.Hypergraph, error) { return s.SpanningGraph() },
+	})
+}
+
+// ForSkeleton serves queries from a k-skeleton sketch. The rebuild routes
+// through the engine's parallel decode fan-out (engine.DecodeSkeleton), so
+// a dirty-epoch miss pays the multi-core peel, not the serial one.
+func ForSkeleton(s *sketch.SkeletonSketch) *Oracle {
+	return mustNew(Config{
+		Sketch: s,
+		N:      s.NumVertices(),
+		Decode: func() (*graph.Hypergraph, error) { return engine.DecodeSkeleton(s) },
+	})
+}
+
+// ForVertexConn serves queries from a vertex-connectivity query structure
+// (Theorem 4). DisconnectedBy is the paper's query — exact w.h.p. for
+// removal sets up to the sketch's K, enforced via MaxRemove — answered
+// against the cached H (the union of the subsampled subgraphs' spanning
+// forests) instead of re-decoding per query as Sketch.Disconnects does.
+func ForVertexConn(s *vertexconn.Sketch) *Oracle {
+	return mustNew(Config{
+		Sketch: s,
+		N:      s.NumVertices(),
+		Decode: func() (*graph.Hypergraph, error) {
+			h, _, err := s.BuildH()
+			return h, err
+		},
+		MaxRemove: s.Params().K,
+	})
+}
+
+// ForEdgeConn serves queries from a hyperedge-connectivity sketch: the
+// snapshot is the decoded k-skeleton, which preserves connectivity (and
+// all cuts up to k) of the sketched hypergraph.
+func ForEdgeConn(s *edgeconn.Sketch) *Oracle {
+	return mustNew(Config{
+		Sketch: s,
+		N:      s.NumVertices(),
+		Decode: func() (*graph.Hypergraph, error) { return s.Skeleton() },
+	})
+}
+
+// ForSparsify serves queries from a cut-sparsifier sketch: the snapshot is
+// the decoded sparsifier, whose cuts are (1±ε)-approximations of G's, so a
+// zero cut — connectivity — is preserved exactly w.h.p.
+func ForSparsify(s *sparsify.Sketch) *Oracle {
+	return mustNew(Config{
+		Sketch: s,
+		N:      s.NumVertices(),
+		Decode: func() (*graph.Hypergraph, error) { return s.Sparsifier() },
+	})
+}

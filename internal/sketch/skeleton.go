@@ -217,10 +217,7 @@ func (s *SkeletonSketch) Marshal() []byte { return s.State() }
 // AddState.
 func (s *SkeletonSketch) Unmarshal(data []byte) error { return s.AddState(data) }
 
-var (
-	_ graphsketch.Sharded     = (*SkeletonSketch)(nil)
-	_ graphsketch.Unmarshaler = (*SkeletonSketch)(nil)
-)
+var _ graphsketch.Sharded = (*SkeletonSketch)(nil)
 
 // Domain returns the hyperedge key domain.
 func (s *SkeletonSketch) Domain() graph.Domain { return s.dom }

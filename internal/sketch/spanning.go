@@ -410,7 +410,4 @@ func (s *SpanningSketch) Marshal() []byte { return s.State() }
 // AddState.
 func (s *SpanningSketch) Unmarshal(data []byte) error { return s.AddState(data) }
 
-var (
-	_ graphsketch.Sharded     = (*SpanningSketch)(nil)
-	_ graphsketch.Unmarshaler = (*SpanningSketch)(nil)
-)
+var _ graphsketch.Sharded = (*SpanningSketch)(nil)
