@@ -38,16 +38,17 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # Full-measurement benchmarks emitted as machine-readable JSON, with
-# improvement percentages against the checked-in PR4 results when present
-# (the ingest/decode numbers must stay within noise of them; the Oracle
-# pair pins the warm-cache >= 100x query speedup from PR6). Raise
+# improvement percentages against the checked-in PR6 results when present
+# (the ingest/decode/oracle numbers must stay within noise of them; the
+# Sparse group pins the PR7 hybrid exact/sketch wins — >= 5x ns/op and
+# >= 5x state-words under pure on the sparse power-law stream). Raise
 # BENCHCOUNT (e.g. 5) for stable numbers.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint|Oracle)' -benchmem \
+	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint|Oracle|Sparse)' -benchmem \
 		-count $(BENCHCOUNT) -benchtime $(BENCHTIME) . \
-	| $(GO) run ./cmd/benchjson -out BENCH_pr6.json \
-		-baseline BENCH_pr4.json \
-		-label "PR6 oracle query layer (count=$(BENCHCOUNT))"
+	| $(GO) run ./cmd/benchjson -out BENCH_pr7.json \
+		-baseline BENCH_pr6.json \
+		-label "PR7 hybrid exact/sketch representation (count=$(BENCHCOUNT))"
 
 # Wire-format gate: the codec corruption/round-trip suite and the root
 # checkpoint conformance harness under the race detector, plus a fuzz smoke
@@ -63,7 +64,7 @@ codec-check:
 # endpoint smoke test — the fast loop CI runs on every push (race over the
 # whole module is the `race` target).
 obs-check:
-	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/oracle/
+	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/oracle/ ./internal/hybrid/
 	$(GO) test -run TestObsEndpointSmoke ./cmd/experiments/
 
 fmt-check:

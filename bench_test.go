@@ -20,6 +20,7 @@ import (
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/hybrid"
 	"graphsketch/internal/obs"
 	"graphsketch/internal/oracle"
 	"graphsketch/internal/sketch"
@@ -417,6 +418,120 @@ func BenchmarkCheckpointRead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sparseBatch builds the PR7 sparse workload: a power-law graph whose
+// average degree (4) sits well below the hybrid's exact-buffer capacity
+// (budget/2 = 16 entries), shuffled into an insert-only update batch.
+func sparseBatch(n int, seed uint64) []graph.WeightedEdge {
+	rng := rand.New(rand.NewPCG(seed, 0x5350))
+	st := stream.Shuffled(stream.FromGraph(workload.SparsePowerLaw(rng, n, 4, 2.5)), rng)
+	batch := make([]graph.WeightedEdge, len(st))
+	for i, u := range st {
+		batch[i] = graph.WeightedEdge{E: u.Edge, W: int64(u.Op)}
+	}
+	return batch
+}
+
+// sparseHybrid builds the hybrid-over-spanning sketch the sparse benchmarks
+// measure against a pure spanning sketch of identical construction.
+func sparseHybrid(b *testing.B, n, budget int) (*sketch.SpanningSketch, *hybrid.Sketch) {
+	b.Helper()
+	pure, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inner, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hy, err := hybrid.New(inner, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pure, hy
+}
+
+// BenchmarkSparseIngest is the PR7 headline comparison: ingesting a sparse
+// power-law stream into the pure spanning sketch versus the hybrid
+// exact/sketch wrapper. Nearly every update lands in a small sorted buffer
+// instead of fanning out across log n rounds of sampler rows, so the
+// acceptance bar is >= 5x lower ns/op AND >= 5x fewer state words
+// (reported as the custom 'state-words' unit, captured by benchjson).
+func BenchmarkSparseIngest(b *testing.B) {
+	const n, budget = 1024, 32
+	batch := sparseBatch(n, 1)
+	pure, hy := sparseHybrid(b, n, budget)
+	b.Run("pure", func(b *testing.B) {
+		b.SetBytes(int64(len(batch)))
+		for i := 0; i < b.N; i++ {
+			if err := pure.UpdateBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(pure.Words()-pure.SharedWords()), "state-words")
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		b.SetBytes(int64(len(batch)))
+		for i := 0; i < b.N; i++ {
+			if err := hy.UpdateBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(hy.StateWords()), "state-words")
+	})
+}
+
+// BenchmarkSparseDecode compares spanning decode on the same sparse
+// workload: the pure sketch draws samplers per Boruvka merge, while the
+// hybrid answers components of unspilled vertices directly from exact
+// buffers (the power-law hubs still exercise the mixed path).
+func BenchmarkSparseDecode(b *testing.B) {
+	const n, budget = 1024, 32
+	batch := sparseBatch(n, 1)
+	pure, hy := sparseHybrid(b, n, budget)
+	if err := pure.UpdateBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	if err := hy.UpdateBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pure.SpanningGraph(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hy.SpanningGraph(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSparseChurnIngest stresses the hybrid's worst case: churn waves
+// that drive vertex degrees across the spill boundary, so a fraction of the
+// stream pays both the buffer bookkeeping and the sketch forwarding.
+func BenchmarkSparseChurnIngest(b *testing.B) {
+	const n, budget = 1024, 32
+	rng := rand.New(rand.NewPCG(3, 0x5351))
+	st := workload.BoundaryChurnStream(rng, workload.SparsePowerLaw(rng, n, 4, 2.5), budget/2, 2)
+	batch := make([]graph.WeightedEdge, len(st))
+	for i, u := range st {
+		batch[i] = graph.WeightedEdge{E: u.Edge, W: int64(u.Op)}
+	}
+	_, hy := sparseHybrid(b, n, budget)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hy.UpdateBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(hy.SpilledCount()), "spilled-vertices")
 }
 
 // oracleBench streams the E1 workload into a vertex-connectivity sketch

@@ -20,16 +20,19 @@ import (
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/core/sparsify"
 	"graphsketch/internal/core/vertexconn"
+	"graphsketch/internal/hybrid"
 	"graphsketch/internal/plan"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
 )
 
-// checkpointCases builds each of the seven implementations under a given
+// checkpointCases builds each of the eight implementations under a given
 // profile; the Lean and Balanced variants of one case differ only in
 // construction parameters (never seed), which is exactly what the identity
-// fingerprint must distinguish.
+// fingerprint must distinguish. The hybrid case varies both its own budget
+// and the wrapped inner's profile, so its fingerprint must reject a
+// mismatch at either layer.
 var checkpointCases = []struct {
 	name  string
 	build func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer
@@ -98,6 +101,24 @@ var checkpointCases = []struct {
 			t.Fatal(err)
 		}
 		return s
+	}},
+	{"hybrid", func(t *testing.T, n int, prof plan.Profile) graphsketch.Checkpointer {
+		inner, err := sketch.NewSpanningSketch(sketch.SpanningParams{
+			N: n, Rounds: plan.Spanning(n, prof).Rounds,
+			Sampler: plan.Spanning(n, prof).Sampler, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := 8
+		if prof == plan.Lean {
+			budget = 4
+		}
+		h, err := hybrid.New(inner, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
 	}},
 }
 
@@ -214,7 +235,7 @@ func TestCheckpointDeterministic(t *testing.T) {
 	// fingerprint and CRC over bytes that must come out identical on every
 	// encode of the same state (the mapdeterminism analyzer guards the same
 	// invariant statically). Two WriteTo calls on one live, half-ingested
-	// sketch must agree byte for byte, for all seven implementations.
+	// sketch must agree byte for byte, for all eight implementations.
 	const n = 12
 	st := checkpointStream(n)
 	for _, tc := range checkpointCases {

@@ -37,13 +37,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. Extra holds custom units emitted
+// via testing.B.ReportMetric (e.g. "state-words"), keyed by unit string.
 type Result struct {
-	Iters    int64   `json:"iters"`
-	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op,omitempty"`
-	AllocsOp float64 `json:"allocs_op"`
-	MBs      float64 `json:"mb_s,omitempty"`
+	Iters    int64              `json:"iters"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op"`
+	MBs      float64            `json:"mb_s,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
 }
 
 // Improvement compares current against baseline; positive = better.
@@ -94,6 +96,11 @@ func parse(r io.Reader) (map[string]Result, error) {
 				res.AllocsOp = v
 			case "MB/s":
 				res.MBs = v
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[fields[i+1]] = v
 			}
 		}
 		s := sums[m[1]]
@@ -102,18 +109,32 @@ func parse(r io.Reader) (map[string]Result, error) {
 		s.BOp += res.BOp
 		s.AllocsOp += res.AllocsOp
 		s.MBs += res.MBs
+		for unit, v := range res.Extra {
+			if s.Extra == nil {
+				s.Extra = make(map[string]float64)
+			}
+			s.Extra[unit] += v
+		}
 		sums[m[1]] = s
 		runs[m[1]]++
 	}
 	out := make(map[string]Result, len(sums))
 	for name, s := range sums {
 		n := runs[name]
+		var extra map[string]float64
+		if s.Extra != nil {
+			extra = make(map[string]float64, len(s.Extra))
+			for unit, v := range s.Extra {
+				extra[unit] = v / float64(n)
+			}
+		}
 		out[name] = Result{
 			Iters:    s.Iters / n,
 			NsOp:     s.NsOp / float64(n),
 			BOp:      s.BOp / float64(n),
 			AllocsOp: s.AllocsOp / float64(n),
 			MBs:      s.MBs / float64(n),
+			Extra:    extra,
 		}
 	}
 	return out, sc.Err()

@@ -29,6 +29,9 @@ import (
 type Config struct {
 	Seed  uint64
 	Quick bool
+	// Input optionally points at an on-disk edge-list file; experiments
+	// that can run on real data (E14) add it to their workload sweep.
+	Input string
 }
 
 type experiment struct {
@@ -51,12 +54,14 @@ var registry = []experiment{
 	{"E11", "Extensions: edge connectivity from skeletons; guess-and-double κ", runE11},
 	{"E12", "Scaling: sketch size and time growth rates with n and k", runE12},
 	{"E13", "Calibration: decode reliability vs sampler size knobs", runE13},
+	{"E14", "Hybrid exact/sketch representation: space vs spill on sparse streams", runE14},
 }
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment IDs (E1..E13) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment IDs (E1..E14) or 'all'")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	input := flag.String("input", "", "edge-list file (u v [w]; '#'/'%' comments) added to the workload sweep of experiments that accept real data")
 	csv := flag.String("csv", "", "also write each table as CSV into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
@@ -113,7 +118,7 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	cfg := Config{Seed: *seed, Quick: *quick}
+	cfg := Config{Seed: *seed, Quick: *quick, Input: *input}
 	ran := 0
 	for _, ex := range registry {
 		if !all && !want[ex.ID] {
@@ -129,7 +134,7 @@ func main() {
 		fmt.Printf("[%s done in %v]\n", ex.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments matched -run; known IDs: E1..E13")
+		fmt.Fprintln(os.Stderr, "no experiments matched -run; known IDs: E1..E14")
 		os.Exit(2)
 	}
 }

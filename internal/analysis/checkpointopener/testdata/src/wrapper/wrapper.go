@@ -1,0 +1,29 @@
+// Package wrapper is the positive golden for the shell-opener pattern a
+// wrapping sketch uses (internal/hybrid): the registered opener cannot
+// reconstruct the wrapped inner from params alone, so it returns a pending
+// shell composite literal that Unmarshal completes later. The &Sketch{...}
+// literal inside the Register call's argument tree is what marks the type
+// as registered — no diagnostic expected.
+package wrapper
+
+import (
+	"io"
+
+	"gsvettest/codec"
+)
+
+// Sketch wraps an inner sketch behind an exact-buffer layer.
+type Sketch struct {
+	budget int
+	inner  io.WriterTo
+}
+
+func (s *Sketch) WriteTo(w io.Writer) (int64, error)  { return 0, nil }
+func (s *Sketch) ReadFrom(r io.Reader) (int64, error) { return 0, nil }
+
+func init() {
+	codec.Register(codec.Tag(9), func(params []byte) (any, error) {
+		// Shell: no inner yet; the state's embedded frame supplies it.
+		return &Sketch{budget: len(params)}, nil
+	})
+}

@@ -334,7 +334,7 @@ func TestProfileFlag(t *testing.T) {
 
 func TestRunGenstreamFamilies(t *testing.T) {
 	for _, fam := range []string{"er", "harary", "cliques", "uniform", "planted",
-		"hypercomm", "chunglu", "ba", "grid", "cycle", "complete", "paper"} {
+		"hypercomm", "chunglu", "ba", "grid", "cycle", "complete", "paper", "sparse"} {
 		var out, errOut bytes.Buffer
 		args := []string{"-family", fam, "-n", "12", "-k", "2", "-m", "20"}
 		if err := RunGenstream(args, &out, &errOut); err != nil {
@@ -373,6 +373,37 @@ func TestRunGenstreamChurnMaterializes(t *testing.T) {
 		if stats.Deletes == 0 {
 			t.Fatalf("churn produced no deletes (%v)", extra)
 		}
+	}
+}
+
+func TestRunGenstreamInputFile(t *testing.T) {
+	// An on-disk edge list replaces the synthetic family; churn still applies.
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	body := "# toy dataset\n% konect header\n0 1\n1 2\n2 3\n3 0\n1 1\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := RunGenstream([]string{"-input", path, "-churn", "1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	st, err := stream.ReadText(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.Materialize(st, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EdgeCount() != 4 {
+		t.Fatalf("materialized %d edges, want the file's 4 (self-loop dropped)", got.EdgeCount())
+	}
+	stats, _ := stream.Summarize(st, 4, 2)
+	if stats.Deletes == 0 {
+		t.Fatal("churn over a file-loaded graph produced no deletes")
+	}
+	if err := RunGenstream([]string{"-input", filepath.Join(t.TempDir(), "absent")}, &out, &errOut); err == nil {
+		t.Fatal("missing input file accepted")
 	}
 }
 

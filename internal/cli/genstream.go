@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"os"
 
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashutil"
@@ -18,7 +19,8 @@ import (
 func RunGenstream(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("genstream", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	family := fs.String("family", "er", "er | harary | cliques | cliquetree | uniform | planted | hypercomm | chunglu | ba | grid | cycle | complete | paper")
+	family := fs.String("family", "er", "er | harary | cliques | cliquetree | uniform | planted | hypercomm | chunglu | ba | grid | cycle | complete | paper | sparse")
+	input := fs.String("input", "", "read the final graph from an edge-list file (u v [w]; '#'/'%' comments) instead of generating a family")
 	n := fs.Int("n", 32, "number of vertices")
 	k := fs.Int("k", 3, "connectivity / separator / clique parameter (family-specific)")
 	r := fs.Int("r", 3, "hyperedge cardinality (hypergraph families)")
@@ -38,35 +40,20 @@ func RunGenstream(args []string, stdout, stderr io.Writer) error {
 	rng := hashutil.NewRand(*seed, 0x9e3779b9)
 	var g *graph.Hypergraph
 	var err error
-	switch *family {
-	case "er":
-		g = workload.ErdosRenyi(rng, *n, *p)
-	case "harary":
-		g, err = workload.Harary(*n, *k)
-	case "cliques":
-		g, err = workload.SharedCliques(*n/2+*k/2, *n/2+*k/2, *k)
-	case "cliquetree":
-		g = workload.CliqueTree(rng, *m, *k+1)
-	case "uniform":
-		g = workload.UniformHypergraph(rng, *n, *r, *m)
-	case "planted":
-		g = workload.PlantedCutHypergraph(rng, *n, *r, *m/2, *k)
-	case "hypercomm":
-		g = workload.SharedHyperCommunities(rng, *n/2+*k/2, *k, *r, *m/2)
-	case "chunglu":
-		g = workload.ChungLu(rng, *n, 2.5, float64(*k)+2)
-	case "ba":
-		g = workload.PreferentialAttachment(rng, *n, *k)
-	case "grid":
-		g = workload.Grid(*n, *n)
-	case "cycle":
-		g = workload.Cycle(*n)
-	case "complete":
-		g = workload.Complete(*n)
-	case "paper":
-		g = workload.PaperExample()
+	switch {
+	case *input != "":
+		f, ferr := os.Open(*input)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = stream.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		*family = "file:" + *input
 	default:
-		return fmt.Errorf("unknown family %q", *family)
+		g, err = genFamily(rng, *family, *n, *k, *r, *m, *p)
 	}
 	if err != nil {
 		return err
@@ -99,6 +86,41 @@ func RunGenstream(args []string, stdout, stderr io.Writer) error {
 		*family, g.N(), g.EdgeCount(), len(st))
 	fmt.Fprintf(stdout, "# family=%s n=%d r=%d final_edges=%d seed=%d\n", *family, g.N(), g.R(), g.EdgeCount(), *seed)
 	return stream.WriteText(stdout, st)
+}
+
+// genFamily builds the named synthetic workload family.
+func genFamily(rng *rand.Rand, family string, n, k, r, m int, p float64) (*graph.Hypergraph, error) {
+	switch family {
+	case "er":
+		return workload.ErdosRenyi(rng, n, p), nil
+	case "harary":
+		return workload.Harary(n, k)
+	case "cliques":
+		return workload.SharedCliques(n/2+k/2, n/2+k/2, k)
+	case "cliquetree":
+		return workload.CliqueTree(rng, m, k+1), nil
+	case "uniform":
+		return workload.UniformHypergraph(rng, n, r, m), nil
+	case "planted":
+		return workload.PlantedCutHypergraph(rng, n, r, m/2, k), nil
+	case "hypercomm":
+		return workload.SharedHyperCommunities(rng, n/2+k/2, k, r, m/2), nil
+	case "chunglu":
+		return workload.ChungLu(rng, n, 2.5, float64(k)+2), nil
+	case "ba":
+		return workload.PreferentialAttachment(rng, n, k), nil
+	case "grid":
+		return workload.Grid(n, n), nil
+	case "cycle":
+		return workload.Cycle(n), nil
+	case "complete":
+		return workload.Complete(n), nil
+	case "paper":
+		return workload.PaperExample(), nil
+	case "sparse":
+		return workload.SparsePowerLaw(rng, n, float64(k), 2.5), nil
+	}
+	return nil, fmt.Errorf("unknown family %q", family)
 }
 
 // churnGraph draws a transient-edge graph sized as a fraction of g.

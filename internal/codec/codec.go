@@ -75,6 +75,7 @@ const (
 	TagReconstr   Tag = 6 // reconstruct.Sketch
 	TagSparsify   Tag = 7 // sparsify.Sketch
 	TagBecker     Tag = 8 // reconstruct.BeckerSketch (shares only)
+	TagHybrid     Tag = 9 // hybrid.Sketch (adaptive exact/sketch wrapper)
 )
 
 // String names the tag for diagnostics.
@@ -96,6 +97,8 @@ func (t Tag) String() string {
 		return "sparsify"
 	case TagBecker:
 		return "becker"
+	case TagHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("tag(%d)", uint8(t))
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"graphsketch/internal/graph"
+	"graphsketch/internal/hybrid"
 	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
@@ -87,4 +88,39 @@ func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hyper
 		}
 	}
 	return skeleton, nil
+}
+
+// DecodeHybrid decodes the certificate of a hybrid-wrapped sketch with all
+// CPUs; see DecodeHybridWorkers.
+func DecodeHybrid(h *hybrid.Sketch) (*graph.Hypergraph, error) {
+	return DecodeHybridWorkers(h, runtime.GOMAXPROCS(0))
+}
+
+// DecodeHybridWorkers routes a hybrid sketch's decode through the engine's
+// parallel machinery where the inner type has one. A spanning inner uses
+// the hybrid's own mixed exact/sketch decode (which bypasses sampler draws
+// for unspilled components entirely — the exact path is already cheaper
+// than any fan-out). A skeleton inner spills a clone and runs the parallel
+// peel over it, so Theorem 14 peeling is byte-for-byte the pure path.
+// Decode-budget exhaustion is reported wrapped in ErrDecodeExhausted, as
+// for DecodeSkeletonWorkers.
+func DecodeHybridWorkers(h *hybrid.Sketch, workers int) (*graph.Hypergraph, error) {
+	switch h.Inner().(type) {
+	case *sketch.SpanningSketch:
+		g, err := h.SpanningGraph()
+		if err != nil && errors.Is(err, sketch.ErrDecodeFailed) {
+			return nil, fmt.Errorf("%w: %w", ErrDecodeExhausted, err)
+		}
+		return g, err
+	case *sketch.SkeletonSketch:
+		cp, err := h.Clone()
+		if err != nil {
+			return nil, err
+		}
+		if err := cp.SpillAll(); err != nil {
+			return nil, err
+		}
+		return DecodeSkeletonWorkers(cp.Inner().(*sketch.SkeletonSketch), workers)
+	}
+	return nil, fmt.Errorf("engine: no hybrid decode for inner type %T", h.Inner())
 }

@@ -1,0 +1,80 @@
+package hybrid
+
+import (
+	"fmt"
+	"io"
+
+	"graphsketch"
+	"graphsketch/internal/codec"
+)
+
+// Wire format. A hybrid checkpoint frame's params are two words — the
+// exact-buffer budget and the inner sketch's own wire fingerprint — so the
+// hybrid's identity commits to the inner's full construction (seed, domain,
+// shape) without re-encoding it. The state (Marshal) carries everything
+// params cannot reconstruct: the inner sketch's complete embedded
+// checkpoint frame, the spill bitmap, and the per-vertex exact buffers.
+// codec.Open on the embedded frame rebuilds the inner through its own
+// registered opener, and the recorded fingerprint pins it: a state whose
+// embedded frame disagrees with the params is rejected typed.
+
+func (s *Sketch) wireParams() []byte {
+	return codec.AppendUint64s(nil, uint64(s.budget), s.innerFingerprint())
+}
+
+func (s *Sketch) innerFingerprint() uint64 {
+	if s.inner != nil {
+		return s.inner.Fingerprint()
+	}
+	return s.wantInnerFP
+}
+
+// Fingerprint returns the sketch's wire identity (codec.Fingerprint over
+// budget + inner fingerprint). Frames are exchangeable iff fingerprints
+// agree, which transitively requires identically constructed inners.
+func (s *Sketch) Fingerprint() uint64 {
+	return codec.Fingerprint(codec.TagHybrid, s.wireParams())
+}
+
+// WriteTo writes a self-describing checkpoint frame (graphsketch.Checkpointer).
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	if err := s.ready(); err != nil {
+		return 0, err
+	}
+	return codec.WriteCheckpoint(w, codec.TagHybrid, s.wireParams(), s.Marshal())
+}
+
+// ReadFrom reads a checkpoint frame and merges its state into the sketch
+// (linearly — on a fresh sketch this is an exact restore). The frame must
+// carry this sketch's fingerprint; a frame from a differently-constructed
+// hybrid (different budget or inner) fails with codec.ErrFingerprint.
+func (s *Sketch) ReadFrom(r io.Reader) (int64, error) {
+	n, state, err := codec.ReadCheckpoint(r, codec.TagHybrid, s.Fingerprint())
+	if err != nil {
+		return n, err
+	}
+	return n, s.Unmarshal(state)
+}
+
+func init() {
+	codec.Register(codec.TagHybrid, func(params []byte) (graphsketch.Sketch, error) {
+		vs, rest, err := codec.ReadUint64s(params, 2)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("hybrid: params carry %d trailing bytes: %w", len(rest), codec.ErrUnknownType)
+		}
+		budget, err := codec.IntField(vs[0], "budget")
+		if err != nil {
+			return nil, err
+		}
+		if budget < 2 {
+			return nil, fmt.Errorf("hybrid: budget of %d words cannot hold one entry: %w", budget, codec.ErrUnknownType)
+		}
+		// The shell has no inner yet — params alone cannot build one; the
+		// state's embedded frame supplies it when Unmarshal runs (which
+		// codec.Open does immediately after calling this opener).
+		return &Sketch{budget: budget, maxEntries: budget / 2, wantInnerFP: vs[1]}, nil
+	})
+}

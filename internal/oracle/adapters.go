@@ -6,6 +6,7 @@ import (
 	"graphsketch/internal/core/vertexconn"
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/hybrid"
 	"graphsketch/internal/sketch"
 )
 
@@ -29,6 +30,19 @@ func ForSkeleton(s *sketch.SkeletonSketch) *Oracle {
 		Sketch: s,
 		N:      s.NumVertices(),
 		Decode: func() (*graph.Hypergraph, error) { return engine.DecodeSkeleton(s) },
+	})
+}
+
+// ForHybrid serves queries from a hybrid exact/sketch wrapper
+// (internal/hybrid) over a spanning or skeleton inner. Warm Connected
+// queries stay the O(α(n)) snapshot lookup; a dirty-epoch rebuild routes
+// through engine.DecodeHybrid, so components made only of unspilled
+// vertices decode exactly, with no sampler draws at all.
+func ForHybrid(s *hybrid.Sketch) *Oracle {
+	return mustNew(Config{
+		Sketch: s,
+		N:      s.NumVertices(),
+		Decode: func() (*graph.Hypergraph, error) { return engine.DecodeHybrid(s) },
 	})
 }
 

@@ -343,6 +343,15 @@ func (s *SpanningSketch) Components() (*graphalg.DSU, error) {
 // Domain returns the sketch's hyperedge key domain.
 func (s *SpanningSketch) Domain() graph.Domain { return s.dom }
 
+// Rounds returns the number of Boruvka rounds (independent sampler copies).
+func (s *SpanningSketch) Rounds() int { return s.cfg.Rounds }
+
+// SamplerAt returns vertex v's round-t L0 sampler. The adaptive hybrid
+// store (internal/hybrid) sums spilled members' samplers through this during
+// its mixed exact/sketch Boruvka decode. The sampler is the sketch's live
+// state: callers must Clone before mutating.
+func (s *SpanningSketch) SamplerAt(t, v int) *l0.Sampler { return s.samplers[t][v] }
+
 // Config returns the (defaulted) configuration.
 func (s *SpanningSketch) Config() SpanningConfig { return s.cfg }
 

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphsketch/internal/graph"
+)
+
+// ReadEdgeList parses the plain edge-list format that real-world graph
+// datasets ship in (SNAP, KONECT and friends): one edge per line,
+//
+//	u v [w] [ignored ...]
+//
+// with fields separated by whitespace or commas. Lines starting with '#' or
+// '%' are comments (KONECT headers use '%'), blank lines are skipped, and
+// self-loops — common residue in crawled datasets — are dropped rather than
+// rejected. The optional third column is an integer multiplicity (default
+// 1, must be positive); any further columns (timestamps and the like) are
+// ignored. Duplicate edges stack their multiplicities.
+//
+// The vertex count is inferred as max id + 1; ids must be non-negative.
+// The result is an ordinary graph (r = 2) ready for FromGraph, Shuffled or
+// WithChurn to turn into a dynamic stream.
+func ReadEdgeList(r io.Reader) (*graph.Hypergraph, error) {
+	type row struct {
+		u, v int
+		w    int64
+	}
+	var rows []row
+	maxID := -1
+	loops := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(c rune) bool {
+			return c == ' ' || c == '\t' || c == ','
+		})
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("stream: edge list line %d: need two vertex ids", lineNo)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("stream: edge list line %d: bad vertex %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("stream: edge list line %d: bad vertex %q", lineNo, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("stream: edge list line %d: negative vertex id", lineNo)
+		}
+		w := int64(1)
+		if len(fields) >= 3 {
+			w, err = strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: edge list line %d: bad weight %q", lineNo, fields[2])
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("stream: edge list line %d: weight %d not positive", lineNo, w)
+			}
+		}
+		if u == v {
+			loops++
+			continue
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		rows = append(rows, row{u, v, w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		if loops > 0 {
+			return nil, errors.New("stream: edge list holds only self-loops")
+		}
+		return nil, errors.New("stream: empty edge list")
+	}
+	h := graph.NewGraph(maxID + 1)
+	for _, e := range rows {
+		h.MustAddEdge(graph.MustEdge(e.u, e.v), e.w)
+	}
+	return h, nil
+}

@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"graphsketch/internal/graph"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	const in = `# SNAP-style header
+% KONECT-style header
+0 1
+1,2,3
+2	4 2 1699999999
+3 3
+5 0
+`
+	h, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 6 {
+		t.Fatalf("inferred n = %d, want 6", h.N())
+	}
+	if h.EdgeCount() != 4 {
+		t.Fatalf("edge count = %d, want 4 (self-loop dropped)", h.EdgeCount())
+	}
+	for _, tc := range []struct {
+		u, v int
+		w    int64
+	}{{0, 1, 1}, {1, 2, 3}, {2, 4, 2}, {0, 5, 1}} {
+		if got := h.Weight(graph.MustEdge(tc.u, tc.v)); got != tc.w {
+			t.Fatalf("weight(%d,%d) = %d, want %d", tc.u, tc.v, got, tc.w)
+		}
+	}
+}
+
+func TestReadEdgeListDuplicatesStack(t *testing.T) {
+	h, err := ReadEdgeList(strings.NewReader("0 1\n1 0\n0 1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Weight(graph.MustEdge(0, 1)); got != 4 {
+		t.Fatalf("stacked weight = %d, want 4", got)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"empty", "# nothing\n"},
+		{"only-loops", "2 2\n"},
+		{"one-field", "7\n"},
+		{"bad-vertex", "a b\n"},
+		{"negative-vertex", "-1 2\n"},
+		{"bad-weight", "0 1 x\n"},
+		{"zero-weight", "0 1 0\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.in)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}

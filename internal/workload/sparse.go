@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"graphsketch/internal/graph"
+	"graphsketch/internal/stream"
+)
+
+// This file holds the sparse-stream workload family the hybrid
+// exact/sketch store (internal/hybrid) is benchmarked on: graphs whose
+// typical vertex has only a handful of incident edges (so it fits a small
+// exact buffer) while a power-law tail of hubs overflows any fixed budget,
+// plus a churn generator that drives vertex degrees back and forth across
+// a given spill boundary — the hybrid's worst case, since spilling is
+// monotone and every boundary crossing is permanent.
+
+// SparsePowerLaw returns a sparse graph on n vertices with roughly avgDeg
+// average degree and a power-law degree tail with exponent gamma (heavier
+// tail for smaller gamma; web/social graphs sit near 2–3). Unlike ChungLu,
+// which Bernoulli-samples all n² pairs, edges are drawn by weighted
+// endpoint sampling in O(m log n) — usable at benchmark sizes where the
+// whole point is m ≪ n².
+func SparsePowerLaw(rng *rand.Rand, n int, avgDeg, gamma float64) *graph.Hypergraph {
+	h := graph.NewGraph(n)
+	if n < 2 || avgDeg <= 0 {
+		return h
+	}
+	// Cumulative weights ~ (i+1)^(-1/(gamma-1)), as in ChungLu.
+	cum := make([]float64, n)
+	sum := 0.0
+	for i := range cum {
+		sum += math.Pow(float64(i+1), -1.0/(gamma-1))
+		cum[i] = sum
+	}
+	draw := func() int {
+		x := rng.Float64() * sum
+		return sort.SearchFloat64s(cum, x)
+	}
+	m := int(avgDeg * float64(n) / 2)
+	if m < 1 {
+		m = 1
+	}
+	// Rejection-sample distinct non-loop edges; the attempt cap only binds
+	// on near-complete parameter choices, which this family is not for.
+	for attempts := 0; h.EdgeCount() < m && attempts < 20*m; attempts++ {
+		u, v := draw(), draw()
+		if u != v {
+			addOnce(h, u, v)
+		}
+	}
+	return h
+}
+
+// BoundaryChurnStream turns final into a dynamic stream that hammers a
+// spill boundary: after final's (shuffled) insertions, each of waves rounds
+// picks random centers and inserts boundary transient star edges at each —
+// pushing the center's live degree past an exact buffer holding `boundary`
+// entries — then deletes them all, dropping it back below. The stream
+// materializes to final; an adaptive store sees worst-case traffic, since
+// every center crossing the boundary must spill and can never return.
+func BoundaryChurnStream(rng *rand.Rand, final *graph.Hypergraph, boundary, waves int) stream.Stream {
+	n := final.N()
+	st := stream.Shuffled(stream.FromGraph(final), rng)
+	if boundary < 1 || n < 3 {
+		return st
+	}
+	centers := 1 + n/8
+	for w := 0; w < waves; w++ {
+		var transient []graph.Hyperedge
+		for c := 0; c < centers; c++ {
+			center := rng.IntN(n)
+			got := 0
+			for j := 1; j < n && got < boundary; j++ {
+				e := graph.MustEdge(center, (center+j)%n)
+				if final.Has(e) {
+					continue
+				}
+				transient = append(transient, e)
+				got++
+			}
+		}
+		for _, e := range transient {
+			st = append(st, stream.Update{Op: stream.Insert, Edge: e})
+		}
+		rng.Shuffle(len(transient), func(i, j int) {
+			transient[i], transient[j] = transient[j], transient[i]
+		})
+		for _, e := range transient {
+			st = append(st, stream.Update{Op: stream.Delete, Edge: e})
+		}
+	}
+	return st
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+
+	"graphsketch/internal/hashutil"
+	"graphsketch/internal/stream"
+)
+
+func TestSparsePowerLaw(t *testing.T) {
+	const n = 512
+	rng := hashutil.NewRand(3, 0x5350)
+	h := SparsePowerLaw(rng, n, 4, 2.5)
+	m := h.EdgeCount()
+	if m < n || m > 3*n {
+		t.Fatalf("edge count %d far from target avg degree 4 (n=%d)", m, n)
+	}
+	// Power-law skew: the heaviest vertex should be far above the average,
+	// and the median far below the max.
+	deg := make([]int, n)
+	for _, e := range h.Edges() {
+		for _, v := range e {
+			deg[v]++
+		}
+	}
+	maxDeg, below := 0, 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d <= 4 {
+			below++
+		}
+	}
+	if maxDeg < 12 {
+		t.Fatalf("max degree %d shows no heavy tail", maxDeg)
+	}
+	if below < n/2 {
+		t.Fatalf("only %d/%d vertices at or below the average degree", below, n)
+	}
+}
+
+func TestBoundaryChurnStream(t *testing.T) {
+	const n, boundary, waves = 64, 4, 3
+	rng := hashutil.NewRand(5, 0x5351)
+	final := SparsePowerLaw(rng, n, 3, 2.5)
+	st := BoundaryChurnStream(rng, final, boundary, waves)
+
+	stats, err := stream.Summarize(st, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deletes == 0 {
+		t.Fatal("boundary churn produced no deletions")
+	}
+	if stats.Inserts-stats.Deletes != final.EdgeCount() {
+		t.Fatalf("net inserts %d != final edges %d", stats.Inserts-stats.Deletes, final.EdgeCount())
+	}
+	got, err := stream.Materialize(st, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Equal(got) {
+		t.Fatal("stream does not materialize to the final graph")
+	}
+}
