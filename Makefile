@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json codec-check fmt-check ci \
-	lint lint-gsvet lint-staticcheck lint-govulncheck
+.PHONY: all build vet test race bench bench-json bench-diff codec-check \
+	obs-check fmt-check ci lint lint-gsvet lint-staticcheck lint-govulncheck
 
 # Benchmark knobs for bench-json: runs to average and time per run.
 # CI smoke uses BENCHTIME=1x; real measurements want the defaults or more.
@@ -38,17 +38,27 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # Full-measurement benchmarks emitted as machine-readable JSON, with
-# improvement percentages against the checked-in PR6 results when present
+# improvement percentages against the checked-in PR7 results when present
 # (the ingest/decode/oracle numbers must stay within noise of them; the
-# Sparse group pins the PR7 hybrid exact/sketch wins — >= 5x ns/op and
-# >= 5x state-words under pure on the sparse power-law stream). Raise
+# PR8 acceptance bar is BenchmarkParallelIngest with tracing
+# enabled-but-unsampled regressing < 3%, enforced by bench-diff). Raise
 # BENCHCOUNT (e.g. 5) for stable numbers.
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint|Oracle|Sparse)' -benchmem \
 		-count $(BENCHCOUNT) -benchtime $(BENCHTIME) . \
-	| $(GO) run ./cmd/benchjson -out BENCH_pr7.json \
-		-baseline BENCH_pr6.json \
-		-label "PR7 hybrid exact/sketch representation (count=$(BENCHCOUNT))"
+	| $(GO) run ./cmd/benchjson -out BENCH_pr8.json \
+		-baseline BENCH_pr7.json \
+		-label "PR8 deep observability layer (count=$(BENCHCOUNT))"
+
+# Per-benchmark ns/op and allocs/op deltas between the previous PR's
+# checked-in numbers and the current run (make bench-json first). Fails
+# when any benchmark regresses more than BENCH_FAIL_OVER percent; CI runs
+# this as a soft gate (annotated, non-blocking) since single-run numbers
+# are noisy — use BENCHCOUNT=5 before trusting a failure.
+BENCH_FAIL_OVER ?= 3
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff -fail-over=$(BENCH_FAIL_OVER) \
+		BENCH_pr7.json BENCH_pr8.json
 
 # Wire-format gate: the codec corruption/round-trip suite and the root
 # checkpoint conformance harness under the race detector, plus a fuzz smoke
@@ -62,10 +72,12 @@ codec-check:
 
 # Race-enabled run of the concurrency-sensitive packages plus the obs
 # endpoint smoke test — the fast loop CI runs on every push (race over the
-# whole module is the `race` target).
+# whole module is the `race` target). The doc-drift test fails when a
+# registered metric family or /debug/* endpoint is missing from the
+# IMPLEMENTATION.md observability tables.
 obs-check:
 	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/oracle/ ./internal/hybrid/
-	$(GO) test -run TestObsEndpointSmoke ./cmd/experiments/
+	$(GO) test -run 'TestObsEndpointSmoke|TestObsDocDrift' ./cmd/experiments/
 
 fmt-check:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
@@ -73,7 +85,7 @@ fmt-check:
 
 # Static analysis gate: the in-tree invariant suite (cmd/gsvet —
 # mapdeterminism, seeddiscipline, obshandles, checkpointopener,
-# epochguard) plus the
+# epochguard, spanend) plus the
 # pinned external linters. gsvet needs only the Go toolchain and always
 # runs; see the version pins above for the external-tool gating.
 lint: lint-gsvet lint-staticcheck lint-govulncheck

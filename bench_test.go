@@ -329,12 +329,18 @@ func BenchmarkParallelIngest(b *testing.B) {
 			}
 		}
 	})
-	// Same path with metrics collection on: the engine is built while obs
-	// is enabled so every batch pays the clock reads and shard counters.
-	// The acceptance bar is <= 5% over the plain parallel sub-benchmark.
+	// Same path with metrics collection on but trace recording off
+	// (SetTraceSampling(0), the enabled-but-unsampled mode): every batch
+	// pays the clock reads, shard counters, and span histogram, while the
+	// flight recorder stays out of the hot path. The acceptance bar is
+	// <= 3% over the plain parallel sub-benchmark.
 	b.Run("parallel-obs", func(b *testing.B) {
 		obs.Enable()
-		defer obs.Disable()
+		obs.SetTraceSampling(0)
+		defer func() {
+			obs.SetTraceSampling(1)
+			obs.Disable()
+		}()
 		eng := engine.New(s, engine.Options{})
 		defer eng.Close()
 		b.SetBytes(int64(len(batch)))

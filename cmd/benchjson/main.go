@@ -12,6 +12,15 @@
 //
 //	benchjson -in bench.txt -out BENCH_pr2.json
 //
+// Diff mode compares two previously captured reports benchmark by
+// benchmark (ns/op and allocs/op deltas, negative = faster/leaner now)
+// and, with -fail-over, exits nonzero when any shared benchmark regressed
+// by more than the threshold percentage — the soft regression gate behind
+// `make bench-diff`:
+//
+//	benchjson -diff BENCH_pr7.json BENCH_pr8.json
+//	benchjson -diff -fail-over=3 BENCH_pr7.json BENCH_pr8.json
+//
 // The output schema is
 //
 //	{
@@ -33,8 +42,10 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one benchmark measurement. Extra holds custom units emitted
@@ -149,12 +160,93 @@ func pct(base, cur float64) float64 {
 	return 100 * (base - cur) / base
 }
 
+// loadReport reads a benchjson -out document back from disk.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("benchjson: bad report %s: %v", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("benchjson: %s contains no benchmarks", path)
+	}
+	return rep, nil
+}
+
+// runDiff implements -diff: compare two captured reports benchmark by
+// benchmark and return the worst ns/op regression seen (in percent,
+// positive = slower now) so the caller can apply -fail-over.
+func runDiff(w io.Writer, oldPath, newPath string) (worst float64, worstName string, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, "", err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, "", err
+	}
+	names := make([]string, 0, len(newRep.Benchmarks))
+	for name := range newRep.Benchmarks {
+		if _, ok := oldRep.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, "", fmt.Errorf("benchjson: %s and %s share no benchmarks", oldPath, newPath)
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\n")
+	for _, name := range names {
+		ob, nb := oldRep.Benchmarks[name], newRep.Benchmarks[name]
+		// pct is improvement-positive; a delta shown to humans reads
+		// better as regression-positive ("+4.2%" = slower).
+		nsDelta := -pct(ob.NsOp, nb.NsOp)
+		allocDelta := -pct(ob.AllocsOp, nb.AllocsOp)
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%.1f\t%.1f\t%+.1f%%\n",
+			name, ob.NsOp, nb.NsOp, nsDelta, ob.AllocsOp, nb.AllocsOp, allocDelta)
+		if nsDelta > worst {
+			worst, worstName = nsDelta, name
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, "", err
+	}
+	skippedOld, skippedNew := len(oldRep.Benchmarks)-len(names), len(newRep.Benchmarks)-len(names)
+	if skippedOld > 0 || skippedNew > 0 {
+		fmt.Fprintf(w, "(unmatched: %d only in %s, %d only in %s)\n", skippedOld, oldPath, skippedNew, newPath)
+	}
+	return worst, worstName, nil
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON output file (default: stdout)")
 	baselinePath := flag.String("baseline", "", "baseline JSON (a prior benchjson -out) to embed and diff against")
 	label := flag.String("label", "", "free-form label recorded in the report")
+	diff := flag.Bool("diff", false, "compare two report files: benchjson -diff old.json new.json")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit nonzero when any benchmark's ns/op regressed more than this percentage (0 = never fail)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-fail-over=pct] old.json new.json")
+			os.Exit(2)
+		}
+		worst, worstName, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *failOver > 0 && worst > *failOver {
+			fmt.Fprintf(os.Stderr, "benchjson: %s regressed %.1f%% ns/op (threshold %.1f%%)\n", worstName, worst, *failOver)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "" {

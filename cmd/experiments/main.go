@@ -66,6 +66,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	obsAddr := flag.String("obs-addr", "", "enable metrics and serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	traceOut := flag.String("trace-out", "", "append sampled trace spans and flight-recorder events to this file as JSON lines (enables collection)")
 	flag.Parse()
 	if *obsAddr != "" {
 		bound, err := obs.Setup(*obsAddr)
@@ -74,6 +75,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics\n", bound)
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		obs.Enable()
+		obs.SetTraceOutput(f)
+		fmt.Fprintf(os.Stderr, "trace: appending JSONL spans/events to %s\n", *traceOut)
+		defer func() {
+			obs.SetTraceOutput(nil)
+			f.Close()
+		}()
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

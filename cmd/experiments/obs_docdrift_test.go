@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"graphsketch/internal/obs"
+)
+
+// TestObsDocDrift keeps the IMPLEMENTATION.md observability tables honest:
+// every metric family registered by an OnEnable hook and every /debug/*
+// endpoint the handler mounts must be documented. The experiments binary
+// imports every instrumented package, so enabling collection here binds
+// the complete family set. Run via `make obs-check`.
+func TestObsDocDrift(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	doc, err := os.ReadFile("../../IMPLEMENTATION.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+
+	families := obs.Default().Families()
+	if len(families) == 0 {
+		t.Fatal("no metric families registered with collection enabled")
+	}
+	for _, f := range families {
+		if !strings.Contains(text, f) {
+			t.Errorf("metric family %s is registered but missing from the IMPLEMENTATION.md observability tables", f)
+		}
+	}
+
+	paths := obs.EndpointPaths()
+	if len(paths) == 0 {
+		t.Fatal("EndpointPaths returned nothing")
+	}
+	for _, p := range paths {
+		if !strings.Contains(text, p) {
+			t.Errorf("endpoint %s is served but missing from IMPLEMENTATION.md", p)
+		}
+	}
+}

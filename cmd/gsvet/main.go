@@ -1,6 +1,7 @@
 // Command gsvet is the repository's invariant multichecker: it runs the
 // internal/analysis suite — mapdeterminism, seeddiscipline, obshandles,
-// checkpointopener, epochguard — over the module and exits nonzero on any finding.
+// checkpointopener, epochguard, spanend — over the module and exits nonzero
+// on any finding.
 //
 // Usage:
 //
@@ -27,6 +28,7 @@ import (
 	"graphsketch/internal/analysis/mapdeterminism"
 	"graphsketch/internal/analysis/obshandles"
 	"graphsketch/internal/analysis/seeddiscipline"
+	"graphsketch/internal/analysis/spanend"
 )
 
 var suite = []*analysis.Analyzer{
@@ -35,6 +37,7 @@ var suite = []*analysis.Analyzer{
 	mapdeterminism.Analyzer,
 	obshandles.Analyzer,
 	seeddiscipline.Analyzer,
+	spanend.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,217 @@
+// Package spanend flags trace spans that are started but not reliably
+// ended.
+//
+// The deep-observability layer (PR 8) hands out hierarchical spans via
+// obs.StartSpan and (*obs.Span).Child. A span only reaches its histogram,
+// the slow-span log, and the flight recorder when End runs — and decode
+// paths fail mid-function routinely (sketch exhaustion, fingerprint
+// rejects), so an End placed only on the success return silently drops
+// exactly the spans an operator most wants to see. The invariant: every
+// assignment of a started span must be paired with a same-function
+//
+//	defer sp.End(...)
+//
+// so the span is recorded on every exit path. Success-path attributes go
+// through SetAttrs before the deferred End fires. A defer inside a nested
+// function literal does not count (it runs at the literal's exit, not the
+// starter's), and a span whose result is discarded can never be ended.
+// Suppress a justified exception with //lint:ignore spanend <reason>.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphsketch/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs.StartSpan/Span.Child results without a same-function `defer sp.End(...)`; spans must be recorded on every exit path, with success attributes via SetAttrs",
+	Run:  run,
+}
+
+func isObsPath(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// isSpanStart reports whether the call starts a span: obs.StartSpan, or
+// the Child method on (a pointer to) the obs Span type.
+func isSpanStart(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !isObsPath(fn.Pkg().Path()) {
+		return false
+	}
+	switch fn.Name() {
+	case "StartSpan":
+		return fn.Signature().Recv() == nil
+	case "Child":
+		recv := fn.Signature().Recv()
+		return recv != nil && isSpanType(recv.Type())
+	}
+	return false
+}
+
+// isSpanType reports whether t is (a pointer to) the obs Span type.
+func isSpanType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && isObsPath(obj.Pkg().Path())
+}
+
+// spanSite is one started-span assignment awaiting its deferred End.
+type spanSite struct {
+	call *ast.CallExpr // the StartSpan/Child call, for reporting
+	obj  types.Object  // the variable the span was assigned to (nil = discarded)
+	fn   ast.Node      // the enclosing function node (FuncDecl or FuncLit)
+}
+
+func run(pass *analysis.Pass) error {
+	if isObsPath(pass.Pkg.Path()) {
+		return nil // the span implementation itself
+	}
+	for _, f := range pass.Files {
+		var sites []spanSite
+		// ended maps (function node, span variable) pairs covered by a
+		// same-function defer sp.End(...).
+		type endKey struct {
+			fn  ast.Node
+			obj types.Object
+		}
+		ended := make(map[endKey]bool)
+
+		// walk tracks the innermost enclosing function while visiting.
+		var walk func(n ast.Node, fn ast.Node)
+		walk = func(n ast.Node, fn ast.Node) {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					walk(n.Body, n)
+				}
+				return
+			case *ast.FuncLit:
+				walk(n.Body, n)
+				return
+			case *ast.AssignStmt:
+				// x := parent.Child(...) / sp = obs.StartSpan(...); with a
+				// multi-assign each RHS pairs with its LHS positionally.
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok || !isSpanStart(pass, call) {
+							continue
+						}
+						obj := lhsObject(pass, n.Lhs[i])
+						sites = append(sites, spanSite{call: call, obj: obj, fn: fn})
+					}
+				}
+			case *ast.ExprStmt:
+				// A span started and thrown away can never be ended.
+				if call, ok := n.X.(*ast.CallExpr); ok && isSpanStart(pass, call) {
+					sites = append(sites, spanSite{call: call, obj: nil, fn: fn})
+				}
+			case *ast.DeferStmt:
+				if obj, ok := deferredEndTarget(pass, n.Call); ok {
+					ended[endKey{fn, obj}] = true
+				}
+				// defer func() { ...; sp.End(...) }() also runs at the
+				// starter's exit: credit every End inside the literal.
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(c ast.Node) bool {
+						if call, ok := c.(*ast.CallExpr); ok {
+							if obj, ok := deferredEndTarget(pass, call); ok {
+								ended[endKey{fn, obj}] = true
+							}
+						}
+						return true
+					})
+				}
+			}
+			// Generic descent, preserving the current function.
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n || c == nil {
+					return c == n
+				}
+				walk(c, fn)
+				return false
+			})
+		}
+		for _, decl := range f.Decls {
+			walk(decl, nil)
+		}
+
+		for _, s := range sites {
+			if s.obj != nil && ended[endKey{s.fn, s.obj}] {
+				continue
+			}
+			name := "the span"
+			if s.obj != nil {
+				name = s.obj.Name()
+			}
+			verb := "StartSpan"
+			if sel, ok := s.call.Fun.(*ast.SelectorExpr); ok {
+				verb = sel.Sel.Name
+			}
+			if s.obj == nil {
+				pass.Reportf(s.call.Pos(),
+					"%s result discarded: the span can never be ended; assign it and add `defer sp.End(...)`", verb)
+				continue
+			}
+			pass.Reportf(s.call.Pos(),
+				"span %s from %s has no same-function `defer %s.End(...)`: an early return or panic drops it from the histogram, slow-span log, and flight recorder; defer End and set success attributes via SetAttrs", name, verb, name)
+		}
+	}
+	return nil
+}
+
+// lhsObject resolves the variable object an assignment LHS binds, for
+// plain identifiers (the only shape spans are assigned to in practice; a
+// field or index LHS yields nil and is reported as unended, which is the
+// conservative direction).
+func lhsObject(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// deferredEndTarget reports the span variable x when call is x.End(...)
+// with x an identifier of the obs Span type.
+func deferredEndTarget(pass *analysis.Pass, call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil || !isSpanType(recv.Type()) {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	return obj, true
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "testdata/src", spanend.Analyzer)
+}

@@ -6,6 +6,7 @@ package cli
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +48,41 @@ func startObs(addr string, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "obs: serving http://%s/metrics\n", bound)
 	return nil
+}
+
+// traceOutFlag registers the shared -trace-out flag on a tool's flag set.
+func traceOutFlag(fs *flag.FlagSet) *string {
+	return fs.String("trace-out", "",
+		"append sampled trace spans and flight-recorder events to this file as JSON lines (enables collection)")
+}
+
+// startTraceOut acts on a parsed -trace-out value: it enables collection
+// and streams every sampled span and recorded event to the named file as
+// one JSON line each. The returned closer detaches the sink and closes the
+// file; callers defer it around the workload.
+func startTraceOut(path string, stderr io.Writer) (func() error, error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	obs.Enable()
+	obs.SetTraceOutput(f)
+	fmt.Fprintf(stderr, "trace: appending JSONL spans/events to %s\n", path)
+	return func() error {
+		obs.SetTraceOutput(nil)
+		return f.Close()
+	}, nil
+}
+
+// printHealth writes a sketch's health introspection report (obs.Inspector)
+// as indented JSON.
+func printHealth(w io.Writer, i obs.Inspector) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(i.Health())
 }
 
 // checkpointFlags registers the shared -checkpoint/-restore flags on a
@@ -209,19 +245,26 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
 	save := fs.String("save", "", "write the raw sketch state to this file after consuming the stream (legacy; prefer -checkpoint)")
 	load := fs.String("load", "", "merge a previously saved raw sketch state before consuming the stream (legacy; prefer -restore)")
+	health := fs.Bool("health", false, "print the sketch's health introspection report as JSON after consuming the stream")
 	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
+	traceOut := traceOutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
+	closeTrace, err := startTraceOut(*traceOut, stderr)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
-	if *query == "" && *connected == "" && !*estimate && *save == "" && *ckpt == "" {
-		return errors.New("need -query, -connected, -estimate, -save, or -checkpoint")
+	if *query == "" && *connected == "" && !*estimate && *save == "" && *ckpt == "" && !*health {
+		return errors.New("need -query, -connected, -estimate, -save, -checkpoint, or -health")
 	}
 
 	var p vertexconn.Params
@@ -239,7 +282,6 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 	var s *vertexconn.Sketch
-	var err error
 	if *restore != "" {
 		s, err = restoreSketch[*vertexconn.Sketch](*restore, stderr)
 	} else {
@@ -248,6 +290,8 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	obs.RegisterInspector("vertexconn", s)
+	defer obs.RegisterInspector("vertexconn", nil)
 	if *load != "" {
 		data, err := os.ReadFile(*load)
 		if err != nil {
@@ -282,6 +326,11 @@ func RunVconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *ckpt != "" {
 		if err := writeCheckpoint(*ckpt, s, stderr); err != nil {
+			return err
+		}
+	}
+	if *health {
+		if err := printHealth(stdout, s); err != nil {
 			return err
 		}
 	}
@@ -347,12 +396,18 @@ func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
 	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
+	traceOut := traceOutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
+	closeTrace, err := startTraceOut(*traceOut, stderr)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
@@ -368,7 +423,6 @@ func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 		params.Levels = *levels
 	}
 	var s *sparsify.Sketch
-	var err error
 	if *restore != "" {
 		s, err = restoreSketch[*sparsify.Sketch](*restore, stderr)
 	} else {
@@ -377,6 +431,8 @@ func RunSparsify(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 	if err != nil {
 		return err
 	}
+	obs.RegisterInspector("sparsify", s)
+	defer obs.RegisterInspector("sparsify", nil)
 	k := params.K
 	if *kFlag > 0 {
 		k = *kFlag
@@ -422,17 +478,22 @@ func RunReconstruct(args []string, stdin io.Reader, stdout, stderr io.Writer) er
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
 	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
+	traceOut := traceOutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
+	closeTrace, err := startTraceOut(*traceOut, stderr)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
 	var s *reconstruct.Sketch
-	var err error
 	if *restore != "" {
 		s, err = restoreSketch[*reconstruct.Sketch](*restore, stderr)
 	} else {
@@ -441,6 +502,8 @@ func RunReconstruct(args []string, stdin io.Reader, stdout, stderr io.Writer) er
 	if err != nil {
 		return err
 	}
+	obs.RegisterInspector("reconstruct", s)
+	defer obs.RegisterInspector("reconstruct", nil)
 	if _, err := readAndApply(*file, stdin, s); err != nil {
 		return err
 	}
@@ -490,20 +553,26 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	st := fs.String("st", "", "report the s-t cut for this 'u,v' pair instead of the global min cut")
 	connected := fs.String("connected", "", "report whether the pair 'u,v' is connected, served from the oracle's cached skeleton")
+	health := fs.Bool("health", false, "print the sketch's health introspection report as JSON after consuming the stream")
 	file := fs.String("stream", "-", "stream file ('-' = stdin)")
 	ckpt, restore := checkpointFlags(fs)
 	obsAddr := obsAddrFlag(fs)
+	traceOut := traceOutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := startObs(*obsAddr, stderr); err != nil {
 		return err
 	}
+	closeTrace, err := startTraceOut(*traceOut, stderr)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	if *n < 2 {
 		return errors.New("need -n >= 2")
 	}
 	var s *edgeconn.Sketch
-	var err error
 	if *restore != "" {
 		s, err = restoreSketch[*edgeconn.Sketch](*restore, stderr)
 	} else {
@@ -512,12 +581,19 @@ func RunEconn(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	obs.RegisterInspector("edgeconn", s)
+	defer obs.RegisterInspector("edgeconn", nil)
 	updates, err := readAndApply(*file, stdin, s)
 	if err != nil {
 		return err
 	}
 	if *ckpt != "" {
 		if err := writeCheckpoint(*ckpt, s, stderr); err != nil {
+			return err
+		}
+	}
+	if *health {
+		if err := printHealth(stdout, s); err != nil {
 			return err
 		}
 	}

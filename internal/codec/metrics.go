@@ -18,10 +18,13 @@ type codecMetrics struct {
 	rejections       *obs.Counter
 }
 
-// reject records a decode rejection (any typed sentinel path).
+// reject records a decode rejection (any typed sentinel path): the counter
+// feeds /metrics, and the flight-recorder event keeps the rejected frame's
+// typed cause inspectable at /debug/events after the fact.
 func (m *codecMetrics) reject(err error) {
 	if IsDecodeError(err) {
 		m.rejections.Inc()
+		obs.RecordEvent("codec.reject", "err", err.Error())
 	}
 }
 

@@ -103,14 +103,20 @@ func (s *Sketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error 
 // with the parallel engine — identical output to the serial decode, using
 // all CPUs.
 func (s *Sketch) Skeleton() (*graph.Hypergraph, error) {
+	return s.SkeletonTraced(nil)
+}
+
+// SkeletonTraced is Skeleton with the decode trace hung under parent (nil
+// starts a fresh trace); a cache hit opens no span.
+func (s *Sketch) SkeletonTraced(parent *obs.Span) (*graph.Hypergraph, error) {
 	if s.decoded == nil {
-		sp := obs.StartSpan("edgeconn.skeleton", em.skelSpan)
-		skel, err := engine.DecodeSkeleton(s.skeleton)
+		sp := parent.Child("edgeconn.skeleton", em.skelSpan)
+		defer sp.End("k", s.skeleton.K())
+		skel, err := engine.DecodeSkeletonTraced(s.skeleton, sp)
 		if err != nil {
 			return nil, err
 		}
 		s.decoded = skel
-		sp.End("k", s.skeleton.K())
 	}
 	return s.decoded, nil
 }

@@ -1,0 +1,21 @@
+package edgeconn
+
+import "graphsketch/internal/obs"
+
+// Health introspects the edge-connectivity sketch (obs.Inspector): the
+// underlying k-skeleton's per-layer report nested under the cut cap, with
+// the skeleton's worst-layer decode-failure risk promoted.
+func (s *Sketch) Health() obs.Report {
+	sk := s.skeleton.Health()
+	return obs.Report{
+		Structure: "edgeconn",
+		Metrics: map[string]float64{
+			"k":                   float64(s.k),
+			"n":                   float64(s.NumVertices()),
+			"decode_failure_risk": sk.Metrics["decode_failure_risk"],
+		},
+		Subs: []obs.Report{sk},
+	}
+}
+
+var _ obs.Inspector = (*Sketch)(nil)

@@ -1,0 +1,22 @@
+package reconstruct
+
+import "graphsketch/internal/obs"
+
+// Health introspects the light_k reconstruction sketch (obs.Inspector):
+// the underlying (K+1)-layer skeleton's report nested under the
+// cut-degeneracy parameter, with its worst-layer decode-failure risk
+// promoted.
+func (s *Sketch) Health() obs.Report {
+	sk := s.skeleton.Health()
+	return obs.Report{
+		Structure: "reconstruct",
+		Metrics: map[string]float64{
+			"k":                   float64(s.k),
+			"n":                   float64(s.NumVertices()),
+			"decode_failure_risk": sk.Metrics["decode_failure_risk"],
+		},
+		Subs: []obs.Report{sk},
+	}
+}
+
+var _ obs.Inspector = (*Sketch)(nil)

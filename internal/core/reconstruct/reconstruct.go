@@ -144,7 +144,15 @@ func (s *Sketch) LightEdges() (*graph.Hypergraph, error) {
 // this to compute F_i = light_k(G_i − F_0 − … − F_{i−1}) from the level-i
 // sketch. A nil sub means light_k(G).
 func (s *Sketch) LightEdgesMinus(sub *graph.Hypergraph) (*graph.Hypergraph, error) {
-	sp := obs.StartSpan("reconstruct.light_edges", rm.lightSpan)
+	return s.LightEdgesMinusTraced(nil, sub)
+}
+
+// LightEdgesMinusTraced is LightEdgesMinus with the peel trace hung under
+// parent (nil starts a fresh trace): each round's skeleton decode becomes
+// a child subtree of the light_edges span.
+func (s *Sketch) LightEdgesMinusTraced(parent *obs.Span, sub *graph.Hypergraph) (*graph.Hypergraph, error) {
+	sp := parent.Child("reconstruct.light_edges", rm.lightSpan)
+	defer sp.End("k", s.k)
 	dom := s.skeleton.Domain()
 	light := graph.MustHypergraph(dom.N(), dom.R())
 	work := s.skeleton.Clone()
@@ -154,14 +162,14 @@ func (s *Sketch) LightEdgesMinus(sub *graph.Hypergraph) (*graph.Hypergraph, erro
 		}
 	}
 	for round := 0; round < dom.N(); round++ {
-		skel, err := engine.DecodeSkeleton(work)
+		skel, err := engine.DecodeSkeletonTraced(work, sp)
 		if err != nil {
 			return nil, fmt.Errorf("reconstruct: round %d: %w", round, err)
 		}
 		weak := graphalg.WeakEdges(skel, int64(s.k))
 		if len(weak) == 0 {
 			rm.peelRounds.Observe(float64(round))
-			sp.End("k", s.k, "rounds", round)
+			sp.SetAttrs("rounds", round)
 			return light, nil
 		}
 		peeled := graph.MustHypergraph(dom.N(), dom.R())
@@ -205,13 +213,19 @@ func (s *Sketch) Reconstruct() (*graph.Hypergraph, error) {
 // unit-weight subgraph sub. The sparsifier's residual check uses this to
 // certify that nothing remains beyond the deepest level.
 func (s *Sketch) SkeletonMinus(sub *graph.Hypergraph) (*graph.Hypergraph, error) {
+	return s.SkeletonMinusTraced(nil, sub)
+}
+
+// SkeletonMinusTraced is SkeletonMinus with the decode trace hung under
+// parent (nil starts a fresh trace).
+func (s *Sketch) SkeletonMinusTraced(parent *obs.Span, sub *graph.Hypergraph) (*graph.Hypergraph, error) {
 	work := s.skeleton.Clone()
 	if sub != nil {
 		if err := work.UpdateGraph(sub, -1); err != nil {
 			return nil, err
 		}
 	}
-	return engine.DecodeSkeleton(work)
+	return engine.DecodeSkeletonTraced(work, parent)
 }
 
 // K returns the degeneracy parameter.

@@ -27,6 +27,7 @@ import (
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hashutil"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/recovery"
 	"graphsketch/internal/sketch"
 )
@@ -143,6 +144,15 @@ var ErrResidual = errors.New("sparsify: residual edges beyond the deepest level"
 // edge is a true edge of G with weight 2^i for the level i at which it was
 // peeled.
 func (s *Sketch) Sparsifier() (*graph.Hypergraph, error) {
+	return s.SparsifierTraced(nil)
+}
+
+// SparsifierTraced is Sparsifier with the decode trace hung under parent
+// (nil starts a fresh trace): each level's light-edge peel becomes a child
+// subtree of the sparsify.decode span.
+func (s *Sketch) SparsifierTraced(parent *obs.Span) (*graph.Hypergraph, error) {
+	sp := parent.Child("sparsify.decode", nil)
+	defer sp.End("levels", s.p.Levels, "n", s.p.N)
 	out := graph.MustHypergraph(s.p.N, s.p.R) // weighted union
 	cum := graph.MustHypergraph(s.p.N, s.p.R) // F_0 ∪ … ∪ F_{i-1}, unit weights
 	for i := 0; i <= s.p.Levels; i++ {
@@ -158,7 +168,7 @@ func (s *Sketch) Sparsifier() (*graph.Hypergraph, error) {
 				sub.MustAddEdge(e, 1)
 			}
 		}
-		fi, err := work.LightEdgesMinus(sub)
+		fi, err := work.LightEdgesMinusTraced(sp, sub)
 		if err != nil {
 			return nil, fmt.Errorf("sparsify: level %d: %w", i, err)
 		}
@@ -183,7 +193,7 @@ func (s *Sketch) Sparsifier() (*graph.Hypergraph, error) {
 			sub.MustAddEdge(e, 1)
 		}
 	}
-	rest, err := s.levels[s.p.Levels].SkeletonMinus(sub)
+	rest, err := s.levels[s.p.Levels].SkeletonMinusTraced(sp, sub)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package vertexconn
+
+import (
+	"fmt"
+	"math/bits"
+
+	"graphsketch/internal/obs"
+)
+
+// healthSubgraphCap bounds how many of the R vertex-subsampled subgraph
+// sketches a Health scan inspects (the Theorem 4 profile can carry
+// thousands); subgraphs are strided evenly across the index range.
+const healthSubgraphCap = 16
+
+// Health introspects the vertex-connectivity query sketch
+// (obs.Inspector): mean subgraph membership fraction over the vertex
+// bitsets (should hover near the (k−1)/k subsampling rate) and a strided
+// sample of per-subgraph spanning-sketch reports, with the worst sampled
+// decode-failure risk promoted.
+func (s *Sketch) Health() obs.Report {
+	inBits, totalBits := 0, 0
+	for v := range s.member {
+		for _, w := range s.member[v] {
+			inBits += bits.OnesCount64(w)
+		}
+		totalBits += s.p.Subgraphs
+	}
+	stride := 1
+	if len(s.sketches) > healthSubgraphCap {
+		stride = (len(s.sketches) + healthSubgraphCap - 1) / healthSubgraphCap
+	}
+	worst := 0.0
+	var subs []obs.Report
+	for i := 0; i < len(s.sketches); i += stride {
+		r := s.sketches[i].Health()
+		r.Structure = fmt.Sprintf("subgraph[%d]", i)
+		if risk := r.Metrics["decode_failure_risk"]; risk > worst {
+			worst = risk
+		}
+		subs = append(subs, r)
+	}
+	m := map[string]float64{
+		"k":                   float64(s.p.K),
+		"n":                   float64(s.p.N),
+		"subgraphs":           float64(s.p.Subgraphs),
+		"subgraphs_sampled":   float64(len(subs)),
+		"decode_failure_risk": worst,
+	}
+	if totalBits > 0 {
+		m["membership_fraction"] = float64(inBits) / float64(totalBits)
+	}
+	return obs.Report{Structure: "vertexconn", Metrics: m, Subs: subs}
+}
+
+// Health introspects the connectivity estimator (obs.Inspector): one
+// sub-report per power-of-two scale, with the worst scale's risk
+// promoted.
+func (e *Estimator) Health() obs.Report {
+	worst := 0.0
+	subs := make([]obs.Report, 0, len(e.scales))
+	for _, sc := range e.scales {
+		r := sc.Health()
+		r.Structure = fmt.Sprintf("scale[k=%d]", sc.Params().K)
+		if risk := r.Metrics["decode_failure_risk"]; risk > worst {
+			worst = risk
+		}
+		subs = append(subs, r)
+	}
+	return obs.Report{
+		Structure: "vertexconn.estimator",
+		Metrics: map[string]float64{
+			"kmax":                float64(e.kmax),
+			"scales":              float64(len(e.scales)),
+			"decode_failure_risk": worst,
+		},
+		Subs: subs,
+	}
+}
+
+var (
+	_ obs.Inspector = (*Sketch)(nil)
+	_ obs.Inspector = (*Estimator)(nil)
+)

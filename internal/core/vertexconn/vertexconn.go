@@ -208,17 +208,28 @@ func (s *Sketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error 
 // deterministic regardless of scheduling (each decode reads only its own
 // sketch and the union is order-free).
 func (s *Sketch) BuildH() (*graph.Hypergraph, int, error) {
+	return s.BuildHTraced(nil)
+}
+
+// BuildHTraced is BuildH with the decode trace hung under parent (nil
+// starts a fresh trace): each subgraph's spanning decode becomes a child
+// subtree of the build_h span, so a slow H rebuild attributes down to the
+// subsampled sketch (and peel round) that caused it. A cache hit opens no
+// span.
+func (s *Sketch) BuildHTraced(parent *obs.Span) (*graph.Hypergraph, int, error) {
 	if s.decoded != nil {
 		return s.decoded, 0, nil
 	}
-	sp := obs.StartSpan("vertexconn.build_h", vm.buildSpan)
+	sp := parent.Child("vertexconn.build_h", vm.buildSpan)
+	defer sp.End("subgraphs", len(s.sketches))
 	forests := make([]*graph.Hypergraph, len(s.sketches))
 	errs := make([]error, len(s.sketches))
 	// Each forest decode reads only its own sketch; fan out across CPUs
 	// and record per-index results (failures are tolerated below, so fn
-	// itself never errors).
+	// itself never errors). Child spans are created concurrently, which is
+	// safe: each goroutine only reads the parent's immutable identity.
 	_ = engine.ForEach(runtime.GOMAXPROCS(0), len(s.sketches), func(i int) error {
-		forests[i], errs[i] = s.sketches[i].SpanningGraph()
+		forests[i], errs[i] = s.sketches[i].SpanningGraphTraced(sp)
 		return nil
 	})
 
@@ -241,7 +252,7 @@ func (s *Sketch) BuildH() (*graph.Hypergraph, int, error) {
 		}
 	}
 	s.decoded = h
-	sp.End("subgraphs", len(s.sketches), "failures", failures)
+	sp.SetAttrs("failures", failures)
 	return h, failures, nil
 }
 

@@ -36,7 +36,14 @@ func decodeErr(layer int, err error) error {
 // all later layers in parallel. The layer decodes themselves remain the
 // (inherently sequential) critical path; everything around them overlaps.
 func DecodeSkeleton(sk *sketch.SkeletonSketch) (*graph.Hypergraph, error) {
-	return DecodeSkeletonWorkers(sk, runtime.GOMAXPROCS(0))
+	return decodeSkeletonWorkers(sk, nil, runtime.GOMAXPROCS(0))
+}
+
+// DecodeSkeletonTraced is DecodeSkeleton with the decode trace hung under
+// parent (nil starts a fresh trace); the oracle passes its rebuild span
+// through here so a slow rebuild attributes down to the peel round.
+func DecodeSkeletonTraced(sk *sketch.SkeletonSketch, parent *obs.Span) (*graph.Hypergraph, error) {
+	return decodeSkeletonWorkers(sk, parent, runtime.GOMAXPROCS(0))
 }
 
 // DecodeSkeletonWorkers is DecodeSkeleton with an explicit worker count
@@ -45,19 +52,23 @@ func DecodeSkeleton(sk *sketch.SkeletonSketch) (*graph.Hypergraph, error) {
 // sketch.ErrDecodeFailed); other errors indicate misuse and are returned
 // without the sentinel.
 func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hypergraph, error) {
+	return decodeSkeletonWorkers(sk, nil, workers)
+}
+
+func decodeSkeletonWorkers(sk *sketch.SkeletonSketch, parent *obs.Span, workers int) (*graph.Hypergraph, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
 		// No parallelism available: the serial peel clones one layer at a
 		// time and keeps a single working set, which is strictly cheaper.
-		h, err := sk.Skeleton()
+		h, err := sk.SkeletonTraced(parent)
 		if err != nil && errors.Is(err, sketch.ErrDecodeFailed) {
 			return nil, fmt.Errorf("%w: %w", ErrDecodeExhausted, err)
 		}
 		return h, err
 	}
-	sp := obs.StartSpan("engine.decode_skeleton", em.decodeSpan)
+	sp := parent.Child("engine.decode_skeleton", em.decodeSpan)
 	defer sp.End("k", sk.K(), "workers", workers)
 	layers := sk.Layers()
 	work := make([]*sketch.SpanningSketch, len(layers))
@@ -69,7 +80,7 @@ func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hyper
 	dom := sk.Domain()
 	skeleton := graph.MustHypergraph(dom.N(), dom.R())
 	for i := range work {
-		f, err := work[i].SpanningGraph()
+		f, err := decodeLayer(sp, i, work[i])
 		if err != nil {
 			return nil, decodeErr(i, err)
 		}
@@ -90,10 +101,25 @@ func DecodeSkeletonWorkers(sk *sketch.SkeletonSketch, workers int) (*graph.Hyper
 	return skeleton, nil
 }
 
+// decodeLayer peels one skeleton layer under its own child span, so the
+// trace tree reads decode_skeleton → decode_layer → spanning_graph →
+// peel_round.
+func decodeLayer(parent *obs.Span, i int, w *sketch.SpanningSketch) (*graph.Hypergraph, error) {
+	lsp := parent.Child("engine.decode_layer", nil)
+	defer lsp.End("layer", i)
+	return w.SpanningGraphTraced(lsp)
+}
+
 // DecodeHybrid decodes the certificate of a hybrid-wrapped sketch with all
 // CPUs; see DecodeHybridWorkers.
 func DecodeHybrid(h *hybrid.Sketch) (*graph.Hypergraph, error) {
-	return DecodeHybridWorkers(h, runtime.GOMAXPROCS(0))
+	return decodeHybridWorkers(h, nil, runtime.GOMAXPROCS(0))
+}
+
+// DecodeHybridTraced is DecodeHybrid with the decode trace hung under
+// parent (nil starts a fresh trace).
+func DecodeHybridTraced(h *hybrid.Sketch, parent *obs.Span) (*graph.Hypergraph, error) {
+	return decodeHybridWorkers(h, parent, runtime.GOMAXPROCS(0))
 }
 
 // DecodeHybridWorkers routes a hybrid sketch's decode through the engine's
@@ -105,9 +131,13 @@ func DecodeHybrid(h *hybrid.Sketch) (*graph.Hypergraph, error) {
 // Decode-budget exhaustion is reported wrapped in ErrDecodeExhausted, as
 // for DecodeSkeletonWorkers.
 func DecodeHybridWorkers(h *hybrid.Sketch, workers int) (*graph.Hypergraph, error) {
+	return decodeHybridWorkers(h, nil, workers)
+}
+
+func decodeHybridWorkers(h *hybrid.Sketch, parent *obs.Span, workers int) (*graph.Hypergraph, error) {
 	switch h.Inner().(type) {
 	case *sketch.SpanningSketch:
-		g, err := h.SpanningGraph()
+		g, err := h.SpanningGraphTraced(parent)
 		if err != nil && errors.Is(err, sketch.ErrDecodeFailed) {
 			return nil, fmt.Errorf("%w: %w", ErrDecodeExhausted, err)
 		}
@@ -120,7 +150,7 @@ func DecodeHybridWorkers(h *hybrid.Sketch, workers int) (*graph.Hypergraph, erro
 		if err := cp.SpillAll(); err != nil {
 			return nil, err
 		}
-		return DecodeSkeletonWorkers(cp.Inner().(*sketch.SkeletonSketch), workers)
+		return decodeSkeletonWorkers(cp.Inner().(*sketch.SkeletonSketch), parent, workers)
 	}
 	return nil, fmt.Errorf("engine: no hybrid decode for inner type %T", h.Inner())
 }

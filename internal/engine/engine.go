@@ -126,11 +126,16 @@ func (e *Engine) UpdateBatch(batch []graph.WeightedEdge) error {
 }
 
 // dispatch fans one batch out to every worker and collects the per-shard
-// errors into the engine scratch. Callers hold e.mu.
+// errors into the engine scratch. Callers hold e.mu. The whole fan-out is
+// one ingest span (feeding the batch-latency histogram); decode traces
+// started elsewhere stay separate trees — ingest and decode are causally
+// independent.
 func (e *Engine) dispatch(batch []graph.WeightedEdge) error {
 	if e.closed {
 		return ErrClosed
 	}
+	sp := obs.StartSpan("engine.ingest_batch", em.batchLatency)
+	defer sp.End("updates", len(batch), "workers", len(e.jobs))
 	j := job{batch: batch}
 	if e.stats != nil {
 		j.enqueued = time.Now()
@@ -149,7 +154,6 @@ func (e *Engine) dispatch(batch []graph.WeightedEdge) error {
 	}
 	e.done.Wait()
 	if e.stats != nil {
-		em.batchLatency.Observe(time.Since(j.enqueued).Seconds())
 		em.batches.Inc()
 		em.updates.Add(int64(len(batch)))
 	}

@@ -30,6 +30,13 @@ import (
 // buffers and spilled samplers, returning sketch.ErrDecodeFailed if the
 // rounds are exhausted before every component is resolved or certified.
 func (s *Sketch) SpanningGraph() (*graph.Hypergraph, error) {
+	return s.SpanningGraphTraced(nil)
+}
+
+// SpanningGraphTraced is SpanningGraph with the decode span hung under
+// parent (nil starts a fresh trace). The all-exact fast path emits a
+// trace-only span so recorded trees show which route a decode took.
+func (s *Sketch) SpanningGraphTraced(parent *obs.Span) (*graph.Hypergraph, error) {
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
@@ -40,10 +47,10 @@ func (s *Sketch) SpanningGraph() (*graph.Hypergraph, error) {
 	s.observeOccupancy()
 	if s.SpilledCount() == 0 {
 		hm.exactDecodes.Inc()
-		return s.exactSpanning()
+		return s.exactSpanningTraced(parent)
 	}
 	hm.mixedDecodes.Inc()
-	return s.mixedSpanning(sp)
+	return s.mixedSpanning(parent, sp)
 }
 
 // Connected decodes and reports whether the sketched hypergraph is
@@ -71,12 +78,18 @@ func (s *Sketch) Components() (*graphalg.DSU, error) {
 // spilled first (the spill invariant makes the clone's inner byte-identical
 // to a pure skeleton of the stream).
 func (s *Sketch) Decode() (*graph.Hypergraph, error) {
+	return s.DecodeTraced(nil)
+}
+
+// DecodeTraced is Decode with the decode spans hung under parent (nil
+// starts a fresh trace).
+func (s *Sketch) DecodeTraced(parent *obs.Span) (*graph.Hypergraph, error) {
 	if err := s.ready(); err != nil {
 		return nil, err
 	}
 	switch s.inner.(type) {
 	case *sketch.SpanningSketch:
-		return s.SpanningGraph()
+		return s.SpanningGraphTraced(parent)
 	case *sketch.SkeletonSketch:
 		cp, err := s.Clone()
 		if err != nil {
@@ -85,7 +98,7 @@ func (s *Sketch) Decode() (*graph.Hypergraph, error) {
 		if err := cp.SpillAll(); err != nil {
 			return nil, err
 		}
-		return cp.inner.(*sketch.SkeletonSketch).Skeleton()
+		return cp.inner.(*sketch.SkeletonSketch).SkeletonTraced(parent)
 	}
 	return nil, fmt.Errorf("hybrid: no decoder for inner type %T", s.inner)
 }
@@ -94,6 +107,16 @@ func (s *Sketch) Decode() (*graph.Hypergraph, error) {
 // present edge appears in each endpoint's buffer with its net weight, so
 // scanning entries at their min endpoint enumerates the edge multiset
 // exactly once, and a DSU keeps only component-merging edges.
+func (s *Sketch) exactSpanningTraced(parent *obs.Span) (*graph.Hypergraph, error) {
+	span := parent.Child("hybrid.exact_spanning", nil)
+	defer span.End()
+	f, err := s.exactSpanning()
+	if f != nil {
+		span.SetAttrs("n", s.dom.N(), "edges", len(f.Edges()))
+	}
+	return f, err
+}
+
 func (s *Sketch) exactSpanning() (*graph.Hypergraph, error) {
 	n := s.dom.N()
 	forest := graph.MustHypergraph(n, s.dom.R())
@@ -124,8 +147,9 @@ func (s *Sketch) exactSpanning() (*graph.Hypergraph, error) {
 // mixedSpanning is the Boruvka decode over mixed exact/spilled components;
 // it mirrors SpanningSketch.SpanningGraph with sampleCut supplying each
 // component's cut edge.
-func (s *Sketch) mixedSpanning(sp *sketch.SpanningSketch) (*graph.Hypergraph, error) {
-	span := obs.StartSpan("hybrid.spanning_graph", hm.decodeSpan)
+func (s *Sketch) mixedSpanning(parent *obs.Span, sp *sketch.SpanningSketch) (*graph.Hypergraph, error) {
+	span := parent.Child("hybrid.spanning_graph", hm.decodeSpan)
+	defer span.End()
 	n := s.dom.N()
 	forest := graph.MustHypergraph(n, s.dom.R())
 	d := graphalg.NewDSU(n)
@@ -141,40 +165,10 @@ func (s *Sketch) mixedSpanning(sp *sketch.SpanningSketch) (*graph.Hypergraph, er
 			}
 		}
 		if active <= 1 {
-			span.End("n", n, "rounds", t)
+			span.SetAttrs("n", n, "rounds", t)
 			return forest, nil
 		}
-		var merges []graph.Hyperedge
-		for root, members := range groups {
-			if done[root] {
-				continue
-			}
-			key, ok, empty := s.sampleCut(sp, t, members)
-			if !ok {
-				if empty {
-					done[root] = true
-				}
-				continue
-			}
-			e, err := s.dom.Decode(key)
-			if err != nil {
-				// Fingerprint false positive from a sampler draw; treat as
-				// a failed sample for this round.
-				continue
-			}
-			merges = append(merges, e)
-		}
-		for _, e := range merges {
-			merged := false
-			for i := 1; i < len(e); i++ {
-				if d.Union(e[0], e[i]) {
-					merged = true
-				}
-			}
-			if merged {
-				forest.MustAddEdge(e, 1)
-			}
-		}
+		s.peelRound(span, sp, t, d, groups, done, forest)
 	}
 
 	// Rounds exhausted: complete only if every remaining component's cut is
@@ -184,11 +178,57 @@ func (s *Sketch) mixedSpanning(sp *sketch.SpanningSketch) (*graph.Hypergraph, er
 			continue
 		}
 		if _, ok, empty := s.sampleCut(sp, rounds-1, members); ok || !empty {
+			obs.RecordEvent("sketch.decode_failure",
+				"structure", "hybrid", "n", n, "rounds", rounds,
+				"spilled", s.SpilledCount())
 			return nil, sketch.ErrDecodeFailed
 		}
 	}
-	span.End("n", n, "rounds", rounds)
+	span.SetAttrs("n", n, "rounds", rounds)
 	return forest, nil
+}
+
+// peelRound runs one mixed Boruvka round under a trace-only child span,
+// mirroring SpanningSketch.peelRound with sampleCut supplying each
+// component's cut edge.
+func (s *Sketch) peelRound(parent *obs.Span, sp *sketch.SpanningSketch, t int, d *graphalg.DSU, groups map[int][]int, done map[int]bool, forest *graph.Hypergraph) {
+	rsp := parent.Child("hybrid.peel_round", nil)
+	defer rsp.End()
+	draws, recovered := 0, 0
+	var merges []graph.Hyperedge
+	for root, members := range groups {
+		if done[root] {
+			continue
+		}
+		draws++
+		key, ok, empty := s.sampleCut(sp, t, members)
+		if !ok {
+			if empty {
+				done[root] = true
+			}
+			continue
+		}
+		e, err := s.dom.Decode(key)
+		if err != nil {
+			// Fingerprint false positive from a sampler draw; treat as
+			// a failed sample for this round.
+			continue
+		}
+		merges = append(merges, e)
+	}
+	for _, e := range merges {
+		merged := false
+		for i := 1; i < len(e); i++ {
+			if d.Union(e[0], e[i]) {
+				merged = true
+			}
+		}
+		if merged {
+			forest.MustAddEdge(e, 1)
+			recovered++
+		}
+	}
+	rsp.SetAttrs("round", t, "draws", draws, "edges", recovered)
 }
 
 // sampleCut draws one edge from the cut of the component given by members,

@@ -52,6 +52,7 @@ import (
 	"graphsketch"
 	"graphsketch/internal/codec"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
 
@@ -345,6 +346,7 @@ func (s *Sketch) spill(v int) error {
 	s.spilled[v] = true
 	hm.spills.Inc()
 	hm.spillOccupancy.Observe(float64(2*len(ks)) / float64(s.budget))
+	obs.RecordEvent("hybrid.spill", "vertex", v, "entries", len(ks), "budget", s.budget)
 	return s.replayExact(v, ks, vs)
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"graphsketch/internal/field"
 	"graphsketch/internal/hashutil"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/recovery"
 )
 
@@ -189,6 +190,7 @@ func (s *Sampler) Sample() (idx uint64, val int64, ok bool) {
 			// This level is too dense; all sparser levels were empty,
 			// so the support-size transition skipped the window.
 			lm.failures.Inc()
+			obs.RecordEvent("l0.sample_failure", "level", lv, "max_levels", len(s.levels))
 			return 0, 0, false
 		}
 		if len(vec) == 0 {

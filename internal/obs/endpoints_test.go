@@ -1,0 +1,202 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphsketch/internal/engine"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/obs"
+	"graphsketch/internal/oracle"
+	"graphsketch/internal/sketch"
+)
+
+func pathBatch(n int) []graph.WeightedEdge {
+	var batch []graph.WeightedEdge
+	for v := 1; v < n; v++ {
+		batch = append(batch, graph.WeightedEdge{E: graph.MustEdge(v-1, v), W: 1})
+	}
+	return batch
+}
+
+// TestTraceTreeDepth is the tentpole acceptance check: a skeleton decode
+// through the engine records a trace tree at least three levels deep
+// (decode_skeleton → decode_layer → spanning_graph → peel_round), and the
+// tree is retrievable from /debug/traces exactly as a scraper would see it.
+func TestTraceTreeDepth(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.SetTraceSampling(1)
+
+	const n = 16
+	sk, err := sketch.NewSkeletonSketch(sketch.SkeletonParams{N: n, K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(sk, engine.Options{Workers: 2})
+	defer eng.Close()
+	if err := eng.UpdateBatch(pathBatch(n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.DecodeSkeletonTraced(sk, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.Handler(obs.Default()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/traces Content-Type = %q, want application/json", ct)
+	}
+	var payload struct {
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the decode's trace (other tests in the package may have left
+	// trees in the ring) and assert its shape. The engine takes the
+	// parallel fan-out on multi-core machines (engine.decode_skeleton →
+	// engine.decode_layer) and the serial peel on one CPU (sketch.skeleton
+	// → sketch.skeleton_layer); both bottom out in spanning_graph →
+	// peel_round, so both trees are at least three levels deep.
+	for _, tr := range payload.Traces {
+		names := make(map[string]bool, len(tr.Spans))
+		for _, s := range tr.Spans {
+			names[s.Name] = true
+		}
+		if !names["engine.decode_skeleton"] && !names["sketch.skeleton"] {
+			continue
+		}
+		if tr.Depth < 3 {
+			t.Fatalf("skeleton decode trace depth = %d, want >= 3 (spans: %v)", tr.Depth, names)
+		}
+		for _, want := range []string{"sketch.spanning_graph", "sketch.peel_round"} {
+			if !names[want] {
+				t.Errorf("skeleton decode trace is missing a %s span", want)
+			}
+		}
+		return
+	}
+	t.Fatal("no skeleton decode trace found at /debug/traces")
+}
+
+// TestEndpointScrapeRace scrapes every observability endpoint concurrently
+// while an engine ingests and an oracle rebuilds, asserting stable
+// content-types and well-formed bodies throughout. Run under -race (make
+// obs-check does) this doubles as the no-torn-reads proof for the
+// flight-recorder rings and the health registry.
+func TestEndpointScrapeRace(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.SetTraceSampling(1)
+
+	const n = 24
+	ingestTarget, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	querySketch, err := sketch.NewSkeletonSketch(sketch.SkeletonParams{N: n, K: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := querySketch.UpdateBatch(pathBatch(n)); err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.ForSkeleton(querySketch)
+	obs.RegisterInspector("race_skeleton", querySketch)
+	defer obs.RegisterInspector("race_skeleton", nil)
+
+	srv := httptest.NewServer(obs.Handler(obs.Default()))
+	defer srv.Close()
+
+	wantCT := map[string]string{
+		"/metrics":      "text/plain",
+		"/debug/vars":   "application/json",
+		"/debug/traces": "application/json",
+		"/debug/events": "application/json",
+		"/debug/health": "application/json",
+		"/healthz":      "",
+	}
+
+	const rounds = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, 3+len(wantCT))
+
+	// Writer 1: engine ingesting batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eng := engine.New(ingestTarget, engine.Options{Workers: 2})
+		defer eng.Close()
+		batch := pathBatch(n)
+		for i := 0; i < rounds; i++ {
+			if err := eng.UpdateBatch(batch); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	// Writer 2: oracle invalidate + rebuild cycles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			orc.Invalidate()
+			if _, err := orc.Connected(0, n-1); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	// Scrapers: one goroutine per endpoint, hammering in a loop.
+	for path, ct := range wantCT {
+		wg.Add(1)
+		go func(path, ct string) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+				if ct != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), ct) {
+					t.Errorf("%s: Content-Type %q, want prefix %q", path, resp.Header.Get("Content-Type"), ct)
+					return
+				}
+				if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") && !json.Valid(body) {
+					t.Errorf("%s: scraped body is not valid JSON (torn read?)", path)
+					return
+				}
+			}
+		}(path, ct)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Report is a point-in-time health introspection of one sketch structure:
+// scalar gauges under Metrics (occupancies, fill fractions, reject rates,
+// estimated decode-failure risk), free-form Notes for anything
+// non-numeric, and Subs for composite structures (a skeleton reports per
+// sampled layer, an estimator per scale). encoding/json sorts the Metrics
+// keys, so serialized reports are deterministic.
+type Report struct {
+	Structure string             `json:"structure"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Notes     []string           `json:"notes,omitempty"`
+	Subs      []Report           `json:"subs,omitempty"`
+}
+
+// Inspector is implemented by sketch structures that can introspect their
+// own health. Health must be safe to call concurrently with queries (it
+// may take the structure's own locks) and should be cheap enough to serve
+// on every /debug/health scrape — sample large sampler populations rather
+// than walking all of them.
+type Inspector interface {
+	Health() Report
+}
+
+var (
+	inspMu     sync.Mutex
+	inspectors = make(map[string]Inspector)
+)
+
+// RegisterInspector exposes i's Health report under name at /debug/health
+// (and via HealthReports). Re-registering a name replaces the previous
+// inspector; a nil i unregisters. CLIs register their live sketch once
+// constructed so -obs-addr scrapes see it.
+func RegisterInspector(name string, i Inspector) {
+	inspMu.Lock()
+	defer inspMu.Unlock()
+	if i == nil {
+		delete(inspectors, name)
+		return
+	}
+	inspectors[name] = i
+}
+
+// HealthReports collects every registered inspector's report, sorted by
+// registration name. A report with an empty Structure inherits its
+// registration name. Health() runs outside the registration lock, so an
+// inspector may itself register or unregister structures.
+func HealthReports() []Report {
+	inspMu.Lock()
+	names := make([]string, 0, len(inspectors))
+	for n := range inspectors {
+		names = append(names, n)
+	}
+	byName := make(map[string]Inspector, len(inspectors))
+	for n, i := range inspectors {
+		byName[n] = i
+	}
+	inspMu.Unlock()
+	sort.Strings(names)
+	out := make([]Report, 0, len(names))
+	for _, n := range names {
+		r := byName[n].Health()
+		if r.Structure == "" {
+			r.Structure = n
+		}
+		out = append(out, r)
+	}
+	return out
+}

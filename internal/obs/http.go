@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -14,6 +15,9 @@ import (
 //
 //	/metrics        Prometheus text format
 //	/debug/vars     the same registry as JSON (expvar convention)
+//	/debug/traces   flight-recorder spans assembled into trace trees
+//	/debug/events   flight-recorder structured events
+//	/debug/health   registered Inspector reports
 //	/debug/pprof/   the standard runtime profiles
 //	/healthz        liveness probe
 //
@@ -30,6 +34,21 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.WriteJSON(w)
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		serveJSON(w, struct {
+			Traces []Trace `json:"traces"`
+		}{Traces()})
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		serveJSON(w, struct {
+			Events []Event `json:"events"`
+		}{Events()})
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		serveJSON(w, struct {
+			Structures []Report `json:"structures"`
+		}{HealthReports()})
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -39,6 +58,27 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// EndpointPaths lists every path Handler mounts, for the documentation
+// drift check (make obs-check asserts each appears in IMPLEMENTATION.md).
+func EndpointPaths() []string {
+	return []string{
+		"/metrics",
+		"/debug/vars",
+		"/debug/traces",
+		"/debug/events",
+		"/debug/health",
+		"/debug/pprof/",
+		"/healthz",
+	}
 }
 
 // Serve enables collection if needed and serves Handler(global registry)

@@ -262,6 +262,20 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 	}).(*Histogram)
 }
 
+// Families returns the names of every registered metric family, sorted.
+// The documentation drift check (make obs-check) uses it to assert each
+// family has a row in the IMPLEMENTATION.md observability tables.
+func (r *Registry) Families() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
 // snapshot returns the families sorted by name, each with its series in
 // registration order, for the exporters.
 func (r *Registry) snapshot() []*family {

@@ -27,11 +27,12 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 var (
 	stateMu sync.Mutex
-	on      bool
+	on      atomic.Bool // read lock-free by Enabled; writes under stateMu
 	hooks   []func(*Registry)
 
 	// global is the process-wide registry behind Default. It always
@@ -39,21 +40,16 @@ var (
 	global = NewRegistry()
 )
 
-// Enabled reports whether collection is on.
-func Enabled() bool {
-	stateMu.Lock()
-	defer stateMu.Unlock()
-	return on
-}
+// Enabled reports whether collection is on. Lock-free: span starts and
+// event records sit on ingest/decode paths and check this per call.
+func Enabled() bool { return on.Load() }
 
 // Default returns the process-wide registry when collection is enabled and
 // nil otherwise. All Registry methods are nil-safe and return nil metric
 // handles, whose methods are in turn nil-safe no-ops — the "nil-registry
 // fast path" the disabled mode relies on.
 func Default() *Registry {
-	stateMu.Lock()
-	defer stateMu.Unlock()
-	if !on {
+	if !on.Load() {
 		return nil
 	}
 	return global
@@ -67,7 +63,7 @@ func Default() *Registry {
 func OnEnable(hook func(*Registry)) {
 	stateMu.Lock()
 	hooks = append(hooks, hook)
-	enabled := on
+	enabled := on.Load()
 	stateMu.Unlock()
 	if enabled {
 		hook(global)
@@ -79,11 +75,11 @@ func OnEnable(hook func(*Registry)) {
 // engines and sketches whose per-instance metrics should be bound.
 func Enable() {
 	stateMu.Lock()
-	if on {
+	if on.Load() {
 		stateMu.Unlock()
 		return
 	}
-	on = true
+	on.Store(true)
 	hs := make([]func(*Registry), len(hooks))
 	copy(hs, hooks)
 	stateMu.Unlock()
@@ -99,11 +95,11 @@ func Enable() {
 // disabled paths inside one process.
 func Disable() {
 	stateMu.Lock()
-	if !on {
+	if !on.Load() {
 		stateMu.Unlock()
 		return
 	}
-	on = false
+	on.Store(false)
 	hs := make([]func(*Registry), len(hooks))
 	copy(hs, hooks)
 	stateMu.Unlock()

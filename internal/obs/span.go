@@ -38,40 +38,120 @@ func init() {
 // logged as slow (default 250ms). Zero or negative logs every span.
 func SetSlowSpanThreshold(d time.Duration) { slowSpanNanos.Store(int64(d)) }
 
-// Span is a lightweight trace span for a decode phase. Obtain one with
-// StartSpan; it is nil when collection is disabled, and every method is a
-// nil-safe no-op, so instrumented phases cost one branch when off.
+// Span is a node in a trace tree. StartSpan mints a root (one per trace);
+// Child hangs descendants off it, so a skeleton decode yields
+// decode → layer → spanning_graph → peel_round with causal IDs intact.
+// A Span is nil when collection is disabled and every method is a nil-safe
+// no-op, so instrumented phases cost one predicted branch when off.
+//
+// Roots are sampled per SetTraceSampling; sampledness is inherited by the
+// whole tree. Sampled spans are pushed into the flight recorder ring (and
+// the JSONL sink, when set) at End. Unsampled spans still feed their
+// histogram and the slow-span log, so metrics stay complete even at low
+// sampling rates.
 type Span struct {
-	name  string
-	start time.Time
-	hist  *Histogram
+	name    string
+	start   time.Time
+	hist    *Histogram
+	trace   uint64 // trace ID; 0 when unsampled
+	id      uint64 // span ID within the process; 0 when unsampled
+	parent  uint64 // parent span ID; 0 for roots
+	sampled bool
+	attrs   []any // alternating key/value, see SetAttrs
 }
 
-// StartSpan begins a span. hist, when non-nil, receives the duration in
-// seconds at End; pass nil for log-only spans. Returns nil (a no-op span)
-// when collection is disabled.
+var (
+	traceIDs   atomic.Uint64
+	spanIDs    atomic.Uint64
+	sampleTick atomic.Uint64
+	// sampleEvery: 1 records every root span's tree (default), N>1 records
+	// one tree in N, 0 records none (histograms and slow-span logging keep
+	// working; trace-only child spans collapse to nil).
+	sampleEvery atomic.Int64
+)
+
+func init() { sampleEvery.Store(1) }
+
+// SetTraceSampling controls which trace trees reach the flight recorder:
+// every Nth root span starts a recorded tree. 1 (the default) records all,
+// 0 disables recording entirely — the cheapest enabled mode, used by
+// benchmarks that want metrics without trace capture. Negative values are
+// treated as 0.
+func SetTraceSampling(everyN int) {
+	if everyN < 0 {
+		everyN = 0
+	}
+	sampleEvery.Store(int64(everyN))
+}
+
+// StartSpan begins a root span, opening a new trace. hist, when non-nil,
+// receives the duration in seconds at End; pass nil for trace-only spans.
+// Returns nil (a no-op span) when collection is disabled.
 func StartSpan(name string, hist *Histogram) *Span {
 	if !Enabled() {
 		return nil
 	}
-	return &Span{name: name, start: time.Now(), hist: hist}
+	sp := &Span{name: name, start: time.Now(), hist: hist}
+	if n := sampleEvery.Load(); n > 0 && sampleTick.Add(1)%uint64(n) == 0 {
+		sp.sampled = true
+		sp.trace = traceIDs.Add(1)
+		sp.id = spanIDs.Add(1)
+	}
+	return sp
+}
+
+// Child begins a span under sp, inheriting its trace ID and sampledness.
+// On a nil receiver it falls back to StartSpan, so traced code paths can
+// accept an optional parent: a nil parent means "be a root" when enabled
+// and "stay off" when disabled. A trace-only child (nil hist) of an
+// unsampled parent returns nil outright — per-peel-round spans cost
+// nothing unless their tree is being recorded.
+func (sp *Span) Child(name string, hist *Histogram) *Span {
+	if sp == nil {
+		return StartSpan(name, hist)
+	}
+	if !sp.sampled && hist == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), hist: hist,
+		trace: sp.trace, parent: sp.id, sampled: sp.sampled}
+	if c.sampled {
+		c.id = spanIDs.Add(1)
+	}
+	return c
+}
+
+// SetAttrs appends alternating key/value attributes to the span, to be
+// emitted at End. Use it when attributes are computed mid-span but End is
+// deferred (the spanend lint rule requires a same-function deferred End).
+func (sp *Span) SetAttrs(attrs ...any) {
+	if sp != nil {
+		sp.attrs = append(sp.attrs, attrs...)
+	}
 }
 
 // End finishes the span: it records the duration into the span's
-// histogram and logs the span at Warn level when it exceeded the slow-span
-// threshold (with the given extra slog attrs). It returns the duration (0
-// on a nil span).
+// histogram, logs the span at Warn level when it exceeded the slow-span
+// threshold, and — when the trace is sampled — appends a SpanRecord to
+// the flight recorder and the JSONL sink. Extra attrs are merged after
+// any set with SetAttrs. It returns the duration (0 on a nil span).
 func (sp *Span) End(attrs ...any) time.Duration {
 	if sp == nil {
 		return 0
 	}
 	d := time.Since(sp.start)
 	sp.hist.Observe(d.Seconds())
+	if len(attrs) > 0 {
+		sp.attrs = append(sp.attrs, attrs...)
+	}
 	if d >= time.Duration(slowSpanNanos.Load()) {
-		args := make([]any, 0, 4+len(attrs))
+		args := make([]any, 0, 4+len(sp.attrs))
 		args = append(args, "span", sp.name, "duration", d)
-		args = append(args, attrs...)
+		args = append(args, sp.attrs...)
 		Logger().Warn("slow span", args...)
+	}
+	if sp.sampled {
+		recordSpan(sp, d)
 	}
 	return d
 }

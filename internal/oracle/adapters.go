@@ -7,8 +7,13 @@ import (
 	"graphsketch/internal/engine"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/hybrid"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 )
+
+// The adapters hang each structure's decode trace under the oracle's
+// rebuild span (the sp argument), so a recorded rebuild reads
+// oracle.rebuild → <structure decode> → … → peel_round.
 
 // ForSpanning serves connectivity queries from a spanning-graph sketch:
 // the snapshot is the decoded spanning forest, so Connected answers are
@@ -18,7 +23,7 @@ func ForSpanning(s *sketch.SpanningSketch) *Oracle {
 	return mustNew(Config{
 		Sketch: s,
 		N:      s.NumVertices(),
-		Decode: func() (*graph.Hypergraph, error) { return s.SpanningGraph() },
+		Decode: func(sp *obs.Span) (*graph.Hypergraph, error) { return s.SpanningGraphTraced(sp) },
 	})
 }
 
@@ -29,7 +34,7 @@ func ForSkeleton(s *sketch.SkeletonSketch) *Oracle {
 	return mustNew(Config{
 		Sketch: s,
 		N:      s.NumVertices(),
-		Decode: func() (*graph.Hypergraph, error) { return engine.DecodeSkeleton(s) },
+		Decode: func(sp *obs.Span) (*graph.Hypergraph, error) { return engine.DecodeSkeletonTraced(s, sp) },
 	})
 }
 
@@ -42,7 +47,7 @@ func ForHybrid(s *hybrid.Sketch) *Oracle {
 	return mustNew(Config{
 		Sketch: s,
 		N:      s.NumVertices(),
-		Decode: func() (*graph.Hypergraph, error) { return engine.DecodeHybrid(s) },
+		Decode: func(sp *obs.Span) (*graph.Hypergraph, error) { return engine.DecodeHybridTraced(s, sp) },
 	})
 }
 
@@ -55,8 +60,8 @@ func ForVertexConn(s *vertexconn.Sketch) *Oracle {
 	return mustNew(Config{
 		Sketch: s,
 		N:      s.NumVertices(),
-		Decode: func() (*graph.Hypergraph, error) {
-			h, _, err := s.BuildH()
+		Decode: func(sp *obs.Span) (*graph.Hypergraph, error) {
+			h, _, err := s.BuildHTraced(sp)
 			return h, err
 		},
 		MaxRemove: s.Params().K,
@@ -70,7 +75,7 @@ func ForEdgeConn(s *edgeconn.Sketch) *Oracle {
 	return mustNew(Config{
 		Sketch: s,
 		N:      s.NumVertices(),
-		Decode: func() (*graph.Hypergraph, error) { return s.Skeleton() },
+		Decode: func(sp *obs.Span) (*graph.Hypergraph, error) { return s.SkeletonTraced(sp) },
 	})
 }
 
@@ -81,6 +86,6 @@ func ForSparsify(s *sparsify.Sketch) *Oracle {
 	return mustNew(Config{
 		Sketch: s,
 		N:      s.NumVertices(),
-		Decode: func() (*graph.Hypergraph, error) { return s.Sparsifier() },
+		Decode: func(sp *obs.Span) (*graph.Hypergraph, error) { return s.SparsifierTraced(sp) },
 	})
 }

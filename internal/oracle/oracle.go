@@ -71,8 +71,11 @@ type Config struct {
 	N int
 	// Decode produces the current connectivity snapshot of the sketched
 	// graph (a spanning forest, skeleton, H, or sparsifier). It is called
-	// with the rebuild lock held, so it may touch the sketch freely.
-	Decode func() (*graph.Hypergraph, error)
+	// with the rebuild lock held, so it may touch the sketch freely. The
+	// span is the oracle's rebuild span (nil when tracing is off): hang
+	// the decode's trace under it so a slow rebuild attributes down to
+	// the peel rounds that caused it.
+	Decode func(sp *obs.Span) (*graph.Hypergraph, error)
 	// MaxRemove caps DisconnectedBy removal-set sizes (0 = uncapped). The
 	// vertexconn adapter sets it to the sketch's K, past which the
 	// Theorem 4 guarantee lapses.
@@ -142,8 +145,15 @@ func (o *Oracle) Epoch() uint64 { return o.epoch.Load() }
 // the oracle (e.g. an engine ingesting into the sketch directly).
 func (o *Oracle) Invalidate() {
 	o.mu.Lock()
-	o.epoch.Add(1)
+	o.bumpEpoch()
 	o.mu.Unlock()
+}
+
+// bumpEpoch advances the mutation epoch and drops an epoch-bump event into
+// the flight recorder (a no-op while obs is disabled). Callers hold mu.
+func (o *Oracle) bumpEpoch() {
+	e := o.epoch.Add(1)
+	obs.RecordEvent("oracle.epoch_bump", "epoch", e)
 }
 
 // snapshot returns a snapshot whose epoch matched the mutation epoch at
@@ -171,10 +181,12 @@ func (o *Oracle) snapshot() (*snapshot, error) {
 	o.rebuilds.Add(1)
 	om.rebuilds.Inc()
 	sp := obs.StartSpan("oracle.rebuild", om.rebuildSpan)
-	h, err := o.cfg.Decode()
+	defer sp.End("n", o.cfg.N, "epoch", epoch)
+	h, err := o.cfg.Decode(sp)
 	if err != nil {
 		o.failures.Add(1)
 		om.failures.Inc()
+		obs.RecordEvent("oracle.rebuild_failure", "epoch", epoch, "err", err.Error())
 		if errors.Is(err, sketch.ErrDecodeFailed) {
 			// Operational: the sketch's decode budget ran out. The state is
 			// intact; later epochs may decode fine.
@@ -189,7 +201,7 @@ func (o *Oracle) snapshot() (*snapshot, error) {
 	}
 	s := &snapshot{epoch: epoch, comp: comp, comps: d.Components(), h: h}
 	o.snap.Store(s)
-	sp.End("n", o.cfg.N, "epoch", epoch, "edges", h.EdgeCount())
+	sp.SetAttrs("edges", h.EdgeCount())
 	return s, nil
 }
 
@@ -295,7 +307,7 @@ func (o *Oracle) CacheStats() CacheStats {
 func (o *Oracle) Update(e graph.Hyperedge, delta int64) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	defer o.epoch.Add(1)
+	defer o.bumpEpoch()
 	return o.cfg.Sketch.Update(e, delta)
 }
 
@@ -304,7 +316,7 @@ func (o *Oracle) Update(e graph.Hyperedge, delta int64) error {
 func (o *Oracle) UpdateBatch(batch []graph.WeightedEdge) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	defer o.epoch.Add(1)
+	defer o.bumpEpoch()
 	return o.cfg.Sketch.UpdateBatch(batch)
 }
 
@@ -320,7 +332,7 @@ func (o *Oracle) Merge(x graphsketch.Sketch) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	defer o.epoch.Add(1)
+	defer o.bumpEpoch()
 	return o.cfg.Sketch.Merge(x)
 }
 
@@ -329,7 +341,7 @@ func (o *Oracle) Merge(x graphsketch.Sketch) error {
 func (o *Oracle) Unmarshal(data []byte) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	defer o.epoch.Add(1)
+	defer o.bumpEpoch()
 	return o.cfg.Sketch.Unmarshal(data)
 }
 

@@ -151,7 +151,7 @@ func TestSingleFlightRebuild(t *testing.T) {
 	orc, err := New(Config{
 		Sketch: sp,
 		N:      h.N(),
-		Decode: func() (*graph.Hypergraph, error) {
+		Decode: func(*obs.Span) (*graph.Hypergraph, error) {
 			decodes.Add(1)
 			return sp.SpanningGraph()
 		},
@@ -267,7 +267,7 @@ func TestDecodeFailureBranding(t *testing.T) {
 	orc, err := New(Config{
 		Sketch: sp,
 		N:      h.N(),
-		Decode: func() (*graph.Hypergraph, error) { return nil, *mode },
+		Decode: func(*obs.Span) (*graph.Hypergraph, error) { return nil, *mode },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -342,7 +342,7 @@ func TestSketchPassthroughAndInvalidate(t *testing.T) {
 func TestNewRejectsBadConfig(t *testing.T) {
 	h := workload.Cycle(4)
 	sp := sketch.NewSpanning(1, h.Domain(), sketch.SpanningConfig{})
-	decode := func() (*graph.Hypergraph, error) { return sp.SpanningGraph() }
+	decode := func(*obs.Span) (*graph.Hypergraph, error) { return sp.SpanningGraph() }
 	for _, cfg := range []Config{
 		{Sketch: nil, N: 4, Decode: decode},
 		{Sketch: sp, N: 4, Decode: nil},

@@ -450,3 +450,38 @@ func (t *SSparse) Domain() uint64 { return t.shape.dom }
 func (t *SSparse) Words() int {
 	return t.total.Words() + t.shape.rows*t.shape.buckets*3
 }
+
+// CellStats reports the grid geometry and occupancy: the total number of
+// cells (rows × buckets) and how many currently hold a nonzero delta sum.
+// Health introspection reads the ratio as a fill gauge.
+func (t *SSparse) CellStats() (cells, nonzero int) {
+	for _, c := range t.count {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	return len(t.count), nonzero
+}
+
+// MaybeDecodable reports a cheap necessary condition for Decode to
+// succeed: some row holds at most S nonzero cells. A support larger than
+// S fills more than S cells in every row whp, so failing this check means
+// the level is over-dense; passing it is no guarantee (collisions can
+// still defeat peeling). Health introspection treats the result as a risk
+// signal, not a certificate — Decode's fingerprint certification remains
+// the ground truth.
+func (t *SSparse) MaybeDecodable() bool {
+	sh := t.shape
+	for r := 0; r < sh.rows; r++ {
+		nz := 0
+		for _, c := range t.count[r*sh.buckets : (r+1)*sh.buckets] {
+			if c != 0 {
+				nz++
+			}
+		}
+		if nz <= sh.s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package sketch
+
+import (
+	"fmt"
+
+	"graphsketch/internal/obs"
+)
+
+// healthSampleCap bounds how many per-vertex samplers a Health scan visits
+// per round: introspection is served on every /debug/health scrape and
+// must stay cheap on large domains, so vertices are strided rather than
+// walked exhaustively.
+const healthSampleCap = 64
+
+// Health introspects the spanning sketch (obs.Inspector): per-round
+// sampler occupancy and the fraction of sampled vertices whose next L0
+// draw is at risk of a detected failure. The risk is a per-vertex proxy —
+// decode sums samplers across a component, which can rescue an over-dense
+// member — so read it as a leading indicator, with the
+// sketch_decode_failures_total counter as ground truth.
+func (s *SpanningSketch) Health() obs.Report {
+	n := s.dom.N()
+	stride := 1
+	if n > healthSampleCap {
+		stride = (n + healthSampleCap - 1) / healthSampleCap
+	}
+	visited, atRisk := 0, 0
+	fillSum, allocSum := 0.0, 0.0
+	for t := range s.samplers {
+		for v := 0; v < n; v += stride {
+			r := s.samplers[t][v].Health()
+			visited++
+			fillSum += r.Metrics["cell_fill"]
+			allocSum += r.Metrics["levels_allocated"]
+			atRisk += int(r.Metrics["at_risk"])
+		}
+	}
+	m := map[string]float64{
+		"n":                float64(n),
+		"rounds":           float64(len(s.samplers)),
+		"samplers_visited": float64(visited),
+	}
+	if visited > 0 {
+		m["sampler_fill_mean"] = fillSum / float64(visited)
+		m["sampler_levels_mean"] = allocSum / float64(visited)
+		m["decode_failure_risk"] = float64(atRisk) / float64(visited)
+	}
+	return obs.Report{Structure: "sketch.spanning", Metrics: m}
+}
+
+// Health introspects the skeleton (obs.Inspector): one sub-report per
+// spanning layer, with the worst layer's decode-failure risk promoted to
+// the top level (peeling decodes every layer, so the weakest dominates).
+func (s *SkeletonSketch) Health() obs.Report {
+	subs := make([]obs.Report, 0, len(s.layers))
+	worst := 0.0
+	for i, layer := range s.layers {
+		r := layer.Health()
+		r.Structure = fmt.Sprintf("layer[%d]", i)
+		if risk := r.Metrics["decode_failure_risk"]; risk > worst {
+			worst = risk
+		}
+		subs = append(subs, r)
+	}
+	return obs.Report{
+		Structure: "sketch.skeleton",
+		Metrics: map[string]float64{
+			"k":                   float64(s.k),
+			"n":                   float64(s.dom.N()),
+			"decode_failure_risk": worst,
+		},
+		Subs: subs,
+	}
+}
+
+var (
+	_ obs.Inspector = (*SpanningSketch)(nil)
+	_ obs.Inspector = (*SkeletonSketch)(nil)
+)

@@ -162,18 +162,20 @@ func (s *SkeletonSketch) Clone() *SkeletonSketch {
 // forests F_1 ∪ … ∪ F_k where F_i spans G − F_1 − … − F_{i−1}. Layer i's
 // sketch is peeled by linear subtraction of the already-decoded forests.
 func (s *SkeletonSketch) Skeleton() (*graph.Hypergraph, error) {
-	sp := obs.StartSpan("sketch.skeleton", skm.skelSpan)
+	return s.SkeletonTraced(nil)
+}
+
+// SkeletonTraced is Skeleton with the decode span hung under parent; each
+// layer peel gets its own child span, under which the layer's spanning
+// decode (and its per-round spans) nest. A nil parent starts a fresh
+// trace.
+func (s *SkeletonSketch) SkeletonTraced(parent *obs.Span) (*graph.Hypergraph, error) {
+	sp := parent.Child("sketch.skeleton", skm.skelSpan)
 	defer sp.End("k", s.k, "n", s.dom.N())
 	skeleton := graph.MustHypergraph(s.dom.N(), s.dom.R())
 	var forests []*graph.Hypergraph
 	for i, layer := range s.layers {
-		work := layer.Clone()
-		for _, f := range forests {
-			if err := work.UpdateGraph(f, -1); err != nil {
-				return nil, err
-			}
-		}
-		f, err := work.SpanningGraph()
+		f, err := s.peelLayer(sp, i, layer, forests)
 		if err != nil {
 			return nil, fmt.Errorf("sketch: skeleton layer %d: %w", i, err)
 		}
@@ -185,6 +187,21 @@ func (s *SkeletonSketch) Skeleton() (*graph.Hypergraph, error) {
 		}
 	}
 	return skeleton, nil
+}
+
+// peelLayer decodes layer i of the skeleton: clone, subtract the already
+// decoded forests by linearity, and run the spanning decode, all under a
+// per-layer child span.
+func (s *SkeletonSketch) peelLayer(parent *obs.Span, i int, layer *SpanningSketch, forests []*graph.Hypergraph) (*graph.Hypergraph, error) {
+	lsp := parent.Child("sketch.skeleton_layer", nil)
+	defer lsp.End("layer", i)
+	work := layer.Clone()
+	for _, f := range forests {
+		if err := work.UpdateGraph(f, -1); err != nil {
+			return nil, err
+		}
+	}
+	return work.SpanningGraphTraced(lsp)
 }
 
 // K returns the skeleton's connectivity parameter.

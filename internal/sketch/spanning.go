@@ -232,7 +232,16 @@ func (s *SpanningSketch) Clone() *SpanningSketch {
 // component both fails to produce a sample and cannot be certified as
 // fully merged; every returned edge is fingerprint-certified real.
 func (s *SpanningSketch) SpanningGraph() (*graph.Hypergraph, error) {
-	sp := obs.StartSpan("sketch.spanning_graph", skm.spanSpan)
+	return s.SpanningGraphTraced(nil)
+}
+
+// SpanningGraphTraced is SpanningGraph with the decode span hung under
+// parent, so callers that fan decodes out (skeleton layers, engine
+// workers) produce one causal trace tree. A nil parent starts a fresh
+// trace (exactly SpanningGraph).
+func (s *SpanningSketch) SpanningGraphTraced(parent *obs.Span) (*graph.Hypergraph, error) {
+	sp := parent.Child("sketch.spanning_graph", skm.spanSpan)
+	defer sp.End()
 	n := s.dom.N()
 	forest := graph.MustHypergraph(n, s.dom.R())
 	d := graphalg.NewDSU(n)
@@ -250,61 +259,77 @@ func (s *SpanningSketch) SpanningGraph() (*graph.Hypergraph, error) {
 		}
 		if active <= 1 {
 			skm.peelRounds.Observe(float64(t))
-			sp.End("n", n, "rounds", t)
+			sp.SetAttrs("n", n, "rounds", t)
 			return forest, nil
 		}
-		type found struct{ e graph.Hyperedge }
-		var merges []found
-		for root, members := range groups {
-			if done[root] {
-				continue
-			}
-			sum := s.sumComponent(t, members)
-			key, _, ok := sum.Sample()
-			if !ok {
-				if sum.IsZero() {
-					// Certified: nothing leaves this component.
-					done[root] = true
-				}
-				continue
-			}
-			e, err := s.dom.Decode(key)
-			if err != nil {
-				// A fingerprint false positive (~2^-40); treat as a
-				// failed sample for this round.
-				continue
-			}
-			merges = append(merges, found{e: e})
-		}
-		for _, m := range merges {
-			merged := false
-			for i := 1; i < len(m.e); i++ {
-				if d.Union(m.e[0], m.e[i]) {
-					merged = true
-				}
-			}
-			if merged {
-				forest.MustAddEdge(m.e, 1)
-			}
-		}
+		s.peelRound(sp, t, d, groups, done, forest)
 	}
 
 	// Rounds exhausted. If every remaining component is certified done,
 	// the forest is complete; otherwise we may have missed connectivity.
-	for root, members := range d.Groups() {
+	for _, members := range d.Groups() {
+		root := d.Find(members[0])
 		if done[root] {
 			continue
 		}
 		sum := s.sumComponent(s.cfg.Rounds-1, members)
 		if !sum.IsZero() {
 			skm.failures.Inc()
+			obs.RecordEvent("sketch.decode_failure",
+				"structure", "spanning", "n", n, "rounds", s.cfg.Rounds)
 			return nil, ErrDecodeFailed
 		}
-		_ = root
 	}
 	skm.peelRounds.Observe(float64(s.cfg.Rounds))
-	sp.End("n", n, "rounds", s.cfg.Rounds)
+	sp.SetAttrs("n", n, "rounds", s.cfg.Rounds)
 	return forest, nil
+}
+
+// peelRound runs one Boruvka round: every live component samples a
+// hyperedge leaving it (summing its members' round-t samplers) and
+// components merge along the sampled edges. Certified-empty cuts are
+// marked in done. The round gets its own trace-only child span carrying
+// the samplers-drawn / edges-recovered attributes.
+func (s *SpanningSketch) peelRound(parent *obs.Span, t int, d *graphalg.DSU, groups map[int][]int, done map[int]bool, forest *graph.Hypergraph) {
+	rsp := parent.Child("sketch.peel_round", nil)
+	defer rsp.End()
+	draws, recovered := 0, 0
+	var merges []graph.Hyperedge
+	for root, members := range groups {
+		if done[root] {
+			continue
+		}
+		sum := s.sumComponent(t, members)
+		draws++
+		key, _, ok := sum.Sample()
+		if !ok {
+			if sum.IsZero() {
+				// Certified: nothing leaves this component.
+				done[root] = true
+			}
+			continue
+		}
+		e, err := s.dom.Decode(key)
+		if err != nil {
+			// A fingerprint false positive (~2^-40); treat as a
+			// failed sample for this round.
+			continue
+		}
+		merges = append(merges, e)
+	}
+	for _, e := range merges {
+		merged := false
+		for i := 1; i < len(e); i++ {
+			if d.Union(e[0], e[i]) {
+				merged = true
+			}
+		}
+		if merged {
+			forest.MustAddEdge(e, 1)
+			recovered++
+		}
+	}
+	rsp.SetAttrs("round", t, "draws", draws, "edges", recovered)
 }
 
 // sumComponent returns the round-t sampler of the cut vector of the given

@@ -26,6 +26,11 @@ import (
 // The vertex count is inferred as max id + 1; ids must be non-negative.
 // The result is an ordinary graph (r = 2) ready for FromGraph, Shuffled or
 // WithChurn to turn into a dynamic stream.
+//
+// When obs collection is enabled, parsing feeds the edgelist_* counter
+// family (lines read, comments skipped, self-loops dropped, parse errors),
+// so a scrape after loading a dataset shows how much input was discarded.
+// Every parse error carries the 1-based line number it occurred on.
 func ReadEdgeList(r io.Reader) (*graph.Hypergraph, error) {
 	type row struct {
 		u, v int
@@ -39,39 +44,42 @@ func ReadEdgeList(r io.Reader) (*graph.Hypergraph, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
+		sm.elLines.Add(1)
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '#' || line[0] == '%' {
+			sm.elComments.Add(1)
 			continue
 		}
 		fields := strings.FieldsFunc(line, func(c rune) bool {
 			return c == ' ' || c == '\t' || c == ','
 		})
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("stream: edge list line %d: need two vertex ids", lineNo)
+			return nil, parseErr(lineNo, "need two vertex ids")
 		}
 		u, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("stream: edge list line %d: bad vertex %q", lineNo, fields[0])
+			return nil, parseErr(lineNo, "bad vertex %q", fields[0])
 		}
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("stream: edge list line %d: bad vertex %q", lineNo, fields[1])
+			return nil, parseErr(lineNo, "bad vertex %q", fields[1])
 		}
 		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("stream: edge list line %d: negative vertex id", lineNo)
+			return nil, parseErr(lineNo, "negative vertex id")
 		}
 		w := int64(1)
 		if len(fields) >= 3 {
 			w, err = strconv.ParseInt(fields[2], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("stream: edge list line %d: bad weight %q", lineNo, fields[2])
+				return nil, parseErr(lineNo, "bad weight %q", fields[2])
 			}
 			if w <= 0 {
-				return nil, fmt.Errorf("stream: edge list line %d: weight %d not positive", lineNo, w)
+				return nil, parseErr(lineNo, "weight %d not positive", w)
 			}
 		}
 		if u == v {
 			loops++
+			sm.elLoops.Add(1)
 			continue
 		}
 		if u > maxID {
@@ -96,4 +104,12 @@ func ReadEdgeList(r io.Reader) (*graph.Hypergraph, error) {
 		h.MustAddEdge(graph.MustEdge(e.u, e.v), e.w)
 	}
 	return h, nil
+}
+
+// parseErr counts a rejected line and builds the error for it; every
+// ReadEdgeList parse error goes through here so the message always names
+// the offending 1-based line.
+func parseErr(lineNo int, format string, args ...any) error {
+	sm.elErrors.Add(1)
+	return fmt.Errorf("stream: edge list line %d: "+format, append([]any{lineNo}, args...)...)
 }

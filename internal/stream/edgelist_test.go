@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"graphsketch/internal/graph"
+	"graphsketch/internal/obs"
 )
 
 func TestReadEdgeList(t *testing.T) {
@@ -61,5 +62,69 @@ func TestReadEdgeListErrors(t *testing.T) {
 				t.Fatal("want error")
 			}
 		})
+	}
+}
+
+// TestReadEdgeListErrorLineNumbers pins the operator contract that every
+// malformed-line error names the 1-based line it occurred on — comments
+// and blank lines still advance the count, so the number matches what an
+// editor shows for the file.
+func TestReadEdgeListErrorLineNumbers(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"one-field", "0 1\n7\n", "line 2:"},
+		{"bad-vertex", "# header\n0 1\n\na b\n", "line 4:"},
+		{"negative-vertex", "-1 2\n", "line 1:"},
+		{"bad-weight", "% konect\n0 1 x\n", "line 2:"},
+		{"zero-weight", "0 1\n1 2\n2 3 0\n", "line 3:"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not carry %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadEdgeListMetrics drives a mixed input with collection enabled and
+// asserts the edgelist_* counter family advances: lines read, comments
+// skipped, self-loops dropped, and — on a second, malformed input — parse
+// errors.
+func TestReadEdgeListMetrics(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	lines0 := sm.elLines.Value()
+	comments0 := sm.elComments.Value()
+	loops0 := sm.elLoops.Value()
+	errors0 := sm.elErrors.Value()
+
+	const in = "# header\n% header\n\n0 1\n2 2\n1 2\n"
+	if _, err := ReadEdgeList(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.elLines.Value() - lines0; got != 6 {
+		t.Fatalf("lines read = %d, want 6", got)
+	}
+	if got := sm.elComments.Value() - comments0; got != 3 {
+		t.Fatalf("comment/blank lines = %d, want 3", got)
+	}
+	if got := sm.elLoops.Value() - loops0; got != 1 {
+		t.Fatalf("self-loops dropped = %d, want 1", got)
+	}
+	if got := sm.elErrors.Value() - errors0; got != 0 {
+		t.Fatalf("parse errors = %d, want 0 on clean input", got)
+	}
+
+	if _, err := ReadEdgeList(strings.NewReader("0 1\nbogus line\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+	if got := sm.elErrors.Value() - errors0; got != 1 {
+		t.Fatalf("parse errors = %d, want 1 after malformed input", got)
 	}
 }

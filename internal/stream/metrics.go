@@ -9,6 +9,15 @@ var sm struct {
 	updates *obs.Counter // stream_updates_total
 	inserts *obs.Counter // stream_inserts_total
 	deletes *obs.Counter // stream_deletes_total
+
+	// Edge-list loader counters: what ReadEdgeList saw while parsing a
+	// dataset file. Comments/self-loops quantify how much of the input was
+	// discarded silently; parse errors abort the load but still count, so
+	// a scrape after a failed load shows where ingestion stopped.
+	elLines    *obs.Counter // edgelist_lines_total
+	elComments *obs.Counter // edgelist_comment_lines_total
+	elLoops    *obs.Counter // edgelist_self_loops_dropped_total
+	elErrors   *obs.Counter // edgelist_parse_errors_total
 }
 
 func init() {
@@ -19,6 +28,14 @@ func init() {
 			"Stream insert updates consumed")
 		sm.deletes = r.Counter("stream_deletes_total",
 			"Stream delete updates consumed")
+		sm.elLines = r.Counter("edgelist_lines_total",
+			"Edge-list lines read by ReadEdgeList (including comments and blanks)")
+		sm.elComments = r.Counter("edgelist_comment_lines_total",
+			"Edge-list comment or blank lines skipped by ReadEdgeList")
+		sm.elLoops = r.Counter("edgelist_self_loops_dropped_total",
+			"Edge-list self-loop edges dropped by ReadEdgeList")
+		sm.elErrors = r.Counter("edgelist_parse_errors_total",
+			"Edge-list lines rejected by ReadEdgeList with a parse error")
 	})
 }
 
