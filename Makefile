@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-diff codec-check \
-	obs-check fmt-check ci lint lint-gsvet lint-staticcheck lint-govulncheck
+	obs-check cluster-check fmt-check ci lint lint-gsvet lint-staticcheck \
+	lint-govulncheck
 
 # Benchmark knobs for bench-json: runs to average and time per run.
 # CI smoke uses BENCHTIME=1x; real measurements want the defaults or more.
@@ -38,17 +39,17 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # Full-measurement benchmarks emitted as machine-readable JSON, with
-# improvement percentages against the checked-in PR7 results when present
-# (the ingest/decode/oracle numbers must stay within noise of them; the
-# PR8 acceptance bar is BenchmarkParallelIngest with tracing
-# enabled-but-unsampled regressing < 3%, enforced by bench-diff). Raise
-# BENCHCOUNT (e.g. 5) for stable numbers.
+# improvement percentages against the checked-in PR8 results when present
+# (the ingest/decode/oracle numbers must stay within noise of them; PR9
+# adds BenchmarkClusterIngest, pricing the LocalTransport channel hop
+# against the 3-shard TCP loopback wire). Raise BENCHCOUNT (e.g. 5) for
+# stable numbers.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint|Oracle|Sparse)' -benchmem \
+	$(GO) test -run '^$$' -bench 'Benchmark(E|Parallel|Checkpoint|Oracle|Sparse|Cluster)' -benchmem \
 		-count $(BENCHCOUNT) -benchtime $(BENCHTIME) . \
-	| $(GO) run ./cmd/benchjson -out BENCH_pr8.json \
-		-baseline BENCH_pr7.json \
-		-label "PR8 deep observability layer (count=$(BENCHCOUNT))"
+	| $(GO) run ./cmd/benchjson -out BENCH_pr9.json \
+		-baseline BENCH_pr8.json \
+		-label "PR9 transport-agnostic shard plane (count=$(BENCHCOUNT))"
 
 # Per-benchmark ns/op and allocs/op deltas between the previous PR's
 # checked-in numbers and the current run (make bench-json first). Fails
@@ -58,7 +59,7 @@ bench-json:
 BENCH_FAIL_OVER ?= 3
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff -fail-over=$(BENCH_FAIL_OVER) \
-		BENCH_pr7.json BENCH_pr8.json
+		BENCH_pr8.json BENCH_pr9.json
 
 # Wire-format gate: the codec corruption/round-trip suite and the root
 # checkpoint conformance harness under the race detector, plus a fuzz smoke
@@ -79,13 +80,22 @@ obs-check:
 	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/oracle/ ./internal/hybrid/
 	$(GO) test -run 'TestObsEndpointSmoke|TestObsDocDrift' ./cmd/experiments/
 
+# Cluster gate: the shard-plane suite under the race detector — wire
+# round trips, the three-way serial/local/TCP equivalence, server protocol
+# rejection, the kill-and-restore drills (in-process and real gsd shard
+# processes), and the genstream loadgen end-to-end. Everything runs on
+# loopback with ephemeral ports; no external services.
+cluster-check:
+	$(GO) test -race ./internal/shardplane/
+	$(GO) test -race -run 'TestGSD|TestGenstreamLoadgen' ./internal/cli/
+
 fmt-check:
 	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
 		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 # Static analysis gate: the in-tree invariant suite (cmd/gsvet —
 # mapdeterminism, seeddiscipline, obshandles, checkpointopener,
-# epochguard, spanend) plus the
+# epochguard, spanend, transportclose) plus the
 # pinned external linters. gsvet needs only the Go toolchain and always
 # runs; see the version pins above for the external-tool gating.
 lint: lint-gsvet lint-staticcheck lint-govulncheck
@@ -111,4 +121,4 @@ lint-govulncheck:
 		echo "lint: govulncheck $(GOVULNCHECK_VERSION) not installed and LINT_ONLINE != 1; skipping"; \
 	fi
 
-ci: fmt-check vet lint build test race codec-check bench
+ci: fmt-check vet lint build test race codec-check cluster-check bench

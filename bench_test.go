@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"io"
 	"math/rand/v2"
+	"net"
 	"testing"
 
 	"graphsketch/internal/codec"
@@ -23,6 +24,7 @@ import (
 	"graphsketch/internal/hybrid"
 	"graphsketch/internal/obs"
 	"graphsketch/internal/oracle"
+	"graphsketch/internal/shardplane"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/stream"
 	"graphsketch/internal/workload"
@@ -595,4 +597,62 @@ func BenchmarkOracleDecodePerQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkClusterIngest prices the shard-plane transports against each
+// other on the same spanning-sketch churn workload: LocalTransport pays a
+// channel hop per shard per batch, the 3-shard TCP loopback cluster pays a
+// codec frame, a syscall round trip, and an ack per shard per batch. The
+// resulting states are byte-identical either way (the three-way
+// equivalence test pins that); this benchmark pins what the wire costs.
+func BenchmarkClusterIngest(b *testing.B) {
+	const n = 96
+	batch := parallelWorkload(n, 3, 1)
+
+	b.Run("local", func(b *testing.B) {
+		s, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engine.NewWithTransport(shardplane.NewLocal(s, shardplane.Options{}))
+		defer eng.Close()
+		b.SetBytes(int64(len(batch)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.UpdateBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("tcp", func(b *testing.B) {
+		proto, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var addrs []string
+		for i := 0; i < 3; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := shardplane.NewServer(ln)
+			go srv.Serve()
+			defer srv.Close()
+			addrs = append(addrs, ln.Addr().String())
+		}
+		tr, err := shardplane.DialTCP(proto, addrs, shardplane.TCPOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engine.NewWithTransport(tr)
+		defer eng.Close()
+		b.SetBytes(int64(len(batch)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.UpdateBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,36 @@
+// Command gsd is the graph-sketch daemon: one binary, two roles of the
+// TCP shard plane (internal/shardplane).
+//
+// As a shard server it holds one vertex-range member of a linear sketch
+// and applies the coordinator's batch frames to it:
+//
+//	gsd -serve -addr 127.0.0.1:0
+//	    Serve shard sessions; the bound address is printed on stdout.
+//
+// As a coordinator it partitions a dynamic stream across shard servers,
+// gathers their checkpoint frames, and decodes the merged state:
+//
+//	gsd -coordinator -shards h1:port,h2:port,h3:port \
+//	    -sketch spanning -n 1024 -stream stream.txt -verify
+//	    Ingest the stream over TCP and require the gathered state to
+//	    byte-match a serial baseline.
+//
+// All shards and the coordinator must share -sketch parameters and -seed
+// (the cluster's public randomness); the codec fingerprint rejects any
+// mismatch at the protocol level. -connected 'u,v' answers a connectivity
+// query through the coordinator oracle after ingestion.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphsketch/internal/cli"
+)
+
+func main() {
+	if err := cli.RunGSD(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "gsd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,7 +1,7 @@
 // Command gsvet is the repository's invariant multichecker: it runs the
 // internal/analysis suite — mapdeterminism, seeddiscipline, obshandles,
-// checkpointopener, epochguard, spanend — over the module and exits nonzero
-// on any finding.
+// checkpointopener, epochguard, spanend, transportclose — over the module
+// and exits nonzero on any finding.
 //
 // Usage:
 //
@@ -29,6 +29,7 @@ import (
 	"graphsketch/internal/analysis/obshandles"
 	"graphsketch/internal/analysis/seeddiscipline"
 	"graphsketch/internal/analysis/spanend"
+	"graphsketch/internal/analysis/transportclose"
 )
 
 var suite = []*analysis.Analyzer{
@@ -38,6 +39,7 @@ var suite = []*analysis.Analyzer{
 	obshandles.Analyzer,
 	seeddiscipline.Analyzer,
 	spanend.Analyzer,
+	transportclose.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,123 @@
+// Package app exercises the transportclose analyzer: leaked acquisitions
+// are flagged; closing, passing, storing, or returning the resource is not.
+package app
+
+import (
+	"net"
+
+	"gsvettest/shardplane"
+)
+
+// register stands in for t.Cleanup: a Close inside the literal counts.
+func register(f func()) { f() }
+
+type holder struct {
+	conn net.Conn
+	tr   *shardplane.Transport
+}
+
+var conns = map[net.Conn]bool{}
+
+func leakDial() {
+	tr, err := shardplane.DialTCP(nil) // want `TCPTransport tr is acquired but never released`
+	if err != nil {
+		return
+	}
+	tr.Route(nil)
+}
+
+func leakListen() {
+	ln, err := net.Listen("tcp", ":0") // want `Listener ln is acquired but never released`
+	if err != nil {
+		return
+	}
+	_ = ln.Addr()
+}
+
+func leakLocal() {
+	tr := shardplane.NewLocal(4) // want `Transport tr is acquired but never released`
+	tr.Route(nil)
+}
+
+func discardResult() {
+	shardplane.NewLocal(4) // want `Transport result discarded`
+}
+
+func discardBlank() {
+	_, _ = shardplane.DialTCP(nil) // want `TCPTransport result discarded`
+}
+
+func okDeferClose() error {
+	tr, err := shardplane.DialTCP(nil)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	return tr.Route(nil)
+}
+
+func okExplicitClose() {
+	tr := shardplane.NewLocal(4)
+	tr.Route(nil)
+	tr.Close()
+}
+
+func okCleanupLiteral() {
+	conn, err := net.Dial("tcp", "127.0.0.1:1")
+	if err != nil {
+		return
+	}
+	register(func() { conn.Close() })
+}
+
+func okArgPass() error {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return err
+	}
+	srv := shardplane.NewServer(ln)
+	defer srv.Close()
+	return srv.Serve()
+}
+
+func okFieldStore(h *holder) {
+	conn, err := net.Dial("tcp", "127.0.0.1:1")
+	if err != nil {
+		return
+	}
+	h.conn = conn
+	h.tr = shardplane.NewLocal(2)
+}
+
+func okMapKeyStore() {
+	conn, err := net.Dial("tcp", "127.0.0.1:1")
+	if err != nil {
+		return
+	}
+	conns[conn] = true
+}
+
+func okCompositeLit() *holder {
+	tr := shardplane.NewLocal(2)
+	return &holder{tr: tr}
+}
+
+func okReturn() (net.Conn, error) {
+	conn, err := net.Dial("tcp", "127.0.0.1:1")
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+func okGoroutineArg() {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return
+	}
+	go func() {
+		srv := shardplane.NewServer(ln)
+		defer srv.Close()
+		srv.Serve()
+	}()
+}

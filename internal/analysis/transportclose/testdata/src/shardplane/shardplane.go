@@ -1,0 +1,26 @@
+// Package shardplane is a stand-in for graphsketch/internal/shardplane in
+// the transportclose goldens: same package-name suffix, same closable type
+// names, no dependency on the real module.
+package shardplane
+
+import "net"
+
+type Transport struct{}
+
+func (t *Transport) Close() error            { return nil }
+func (t *Transport) Route(edges []int) error { return nil }
+
+type TCPTransport struct{}
+
+func (t *TCPTransport) Close() error                 { return nil }
+func (t *TCPTransport) Route(edges []int) error      { return nil }
+func (t *TCPTransport) Gather(dst interface{}) error { return nil }
+
+type Server struct{}
+
+func (s *Server) Close() error { return nil }
+func (s *Server) Serve() error { return nil }
+
+func DialTCP(addrs []string) (*TCPTransport, error) { return &TCPTransport{}, nil }
+func NewLocal(shards int) *Transport                { return &Transport{} }
+func NewServer(ln net.Listener) *Server             { return &Server{} }

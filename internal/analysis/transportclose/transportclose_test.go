@@ -1,0 +1,12 @@
+package transportclose_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/transportclose"
+)
+
+func TestTransportClose(t *testing.T) {
+	analysistest.Run(t, "testdata/src", transportclose.Analyzer)
+}

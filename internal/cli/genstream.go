@@ -29,6 +29,9 @@ func RunGenstream(args []string, stdout, stderr io.Writer) error {
 	churn := fs.Float64("churn", 0, "transient edges as a fraction of final edges")
 	window := fs.Bool("window", false, "emit a sliding-window stream instead of two-phase churn")
 	seed := fs.Uint64("seed", 1, "random seed")
+	shards := fs.Int("shards", 0, "loadgen mode: spawn this many gsd shard servers on loopback, drive the generated stream through them over TCP, and verify the coordinator decode against a serial baseline (no stream text is written)")
+	gsdBin := fs.String("gsd", "gsd", "path to the gsd binary (loadgen mode)")
+	lgSketch := fs.String("sketch", "spanning", "member sketch for loadgen mode: spanning | skeleton | hybrid")
 	obsAddr := obsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +87,9 @@ func RunGenstream(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stderr, "genstream: family=%s n=%d final edges=%d stream updates=%d\n",
 		*family, g.N(), g.EdgeCount(), len(st))
+	if *shards > 0 {
+		return runLoadgen(st, g.N(), *shards, *gsdBin, *lgSketch, *k, *seed, stdout, stderr)
+	}
 	fmt.Fprintf(stdout, "# family=%s n=%d r=%d final_edges=%d seed=%d\n", *family, g.N(), g.R(), g.EdgeCount(), *seed)
 	return stream.WriteText(stdout, st)
 }

@@ -9,7 +9,7 @@
 //	offset size field
 //	0      4    magic "GSKF"
 //	4      2    format version (little-endian uint16; currently 1)
-//	6      1    kind (1 = checkpoint, 2 = vertex share)
+//	6      1    kind (1 = checkpoint, 2 = vertex share, 3–6 = shard plane)
 //	7      1    structure type tag (TagSpanning … TagBecker)
 //	8      8    identity fingerprint (little-endian uint64)
 //	16     8    payload length (little-endian uint64)
@@ -60,6 +60,24 @@ const (
 	// KindShare frames carry one vertex's share (the simultaneous
 	// communication model's per-player message) without parameters.
 	KindShare Kind = 2
+
+	// The shard-plane session kinds (internal/shardplane) ride the same
+	// envelope: every cluster message is a checksummed, fingerprinted frame,
+	// so a misrouted or cross-identity message fails typed instead of
+	// corrupting a shard. Kinds are wire format: never renumber.
+
+	// KindHello opens a shard session: the payload assigns a vertex range
+	// and embeds a full checkpoint frame the shard constructs (or restores)
+	// its member sketch from.
+	KindHello Kind = 3
+	// KindBatch carries one routed update batch for the receiving shard's
+	// vertex range.
+	KindBatch Kind = 4
+	// KindPull requests the shard's current checkpoint frame.
+	KindPull Kind = 5
+	// KindAck acknowledges a hello or batch frame, carrying an application
+	// status and error text.
+	KindAck Kind = 6
 )
 
 // Tag identifies the structure type inside a frame.

@@ -5,15 +5,21 @@
 // sketch seed); each player sends one message to Q, and Q must compute the
 // answer from the n messages alone.
 //
-// Because every sketch in this repository is vertex-based, player P_v can
-// evaluate exactly vertex v's share of the sketch from its own input, and
-// the referee reassembles the full sketch by linear merging. The simulation
-// serializes each message as a codec share frame — the envelope's
-// fingerprint is how the referee detects a player operating under different
-// public randomness (codec.ErrFingerprint) instead of merging garbage — and
-// reports both the paper-faithful interior sizes (the share bytes the
+// The simulation is the shard plane (internal/shardplane) in its
+// finest-grained configuration: a MemberTransport with one width-1 shard
+// per vertex routes each hyperedge to exactly its endpoints' players, and
+// the share-framed gather delivers each player's one message to the
+// referee. Because every sketch in this repository is vertex-based, player
+// P_v evaluates exactly vertex v's share of the sketch from its own input,
+// and the referee reassembles the full sketch by linear merging. Messages
+// travel as codec share frames — the envelope's fingerprint is how the
+// referee detects a player operating under different public randomness
+// (codec.ErrFingerprint) instead of merging garbage — and the run reports
+// both the paper-faithful interior sizes (the share bytes the
 // communication bounds are stated in) and the framed totals including
-// envelope overhead.
+// envelope overhead. The same Transport contract scaled the other way
+// (vertex ranges over TCP) is the cmd/gsd cluster; commsim is the model,
+// the cluster is the deployment.
 package commsim
 
 import (
@@ -21,20 +27,20 @@ import (
 
 	"graphsketch/internal/codec"
 	"graphsketch/internal/graph"
+	"graphsketch/internal/shardplane"
 )
 
 // Protocol is a vertex-based sketch viewed as a one-round protocol: a
-// player instance consumes its incident edges (as one batch, matching the
-// unified graphsketch.Updater API) and emits its vertex share; a referee
-// instance absorbs shares. Messages travel as codec share frames
-// (VertexShareFrame / AddVertexShareFrame); the raw interior accessors
-// remain for in-process use and size accounting. All sketches in
-// internal/sketch and internal/core satisfy this.
+// player instance consumes the updates incident to its vertex
+// (range-restricted, as a shard-plane member) and emits its framed vertex
+// share; a referee instance verifies and absorbs share frames. All
+// sketches in internal/sketch and internal/core satisfy this.
 type Protocol interface {
 	Update(e graph.Hyperedge, delta int64) error
 	UpdateBatch(batch []graph.WeightedEdge) error
-	VertexShare(v int) []byte
-	AddVertexShare(v int, data []byte) error
+	// UpdateBatchRange applies the batch restricted to endpoints in
+	// [lo, hi) — the player-side ingest surface of the shard plane.
+	UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error
 	// VertexShareFrame frames vertex v's share with the sketch's identity
 	// fingerprint (codec.KindShare).
 	VertexShareFrame(v int) []byte
@@ -70,53 +76,47 @@ func (r Result) MeanMessageBytes() float64 {
 // EnvelopeBytes returns the total envelope overhead of the run.
 func (r Result) EnvelopeBytes() int { return r.FramedTotalBytes - r.TotalBytes }
 
-// Run executes the protocol on hypergraph h: for each vertex v a fresh
-// player sketch (same public randomness — newPlayer must construct
-// identically-seeded instances) receives exactly the hyperedges incident to
-// v, frames its share of vertex v, and the referee verifies and merges the
-// frame. After Run returns, the referee holds precisely the sketch of h and
-// can be decoded by the caller. A player whose public randomness differs
-// from the referee's is rejected with codec.ErrFingerprint rather than
-// silently corrupting the merge.
+// Run executes the protocol on hypergraph h: one fresh player sketch per
+// vertex (same public randomness — newPlayer must construct
+// identically-seeded instances) receives exactly the hyperedges incident
+// to its vertex, frames its share, and the referee verifies and merges
+// every frame. After Run returns, the referee holds precisely the sketch
+// of h and can be decoded by the caller. A player whose public randomness
+// differs from the referee's is rejected with codec.ErrFingerprint rather
+// than silently corrupting the merge; rejections are counted in
+// commsim_shares_rejected_total.
 //
-// Correctness relies on linearity: each hyperedge e is fed to |e| players,
-// but player P_v's share of vertex v only accumulates v's own samplers, so
-// the merged referee state equals the single-machine sketch of h.
+// Correctness relies on linearity: each hyperedge e is routed to |e|
+// players, player P_v accumulates only vertex v's samplers, and the merged
+// referee state equals the single-machine sketch of h.
 func Run(h *graph.Hypergraph, newPlayer func() Protocol, referee Protocol) (Result, error) {
 	n := h.N()
 	res := Result{Players: n}
-	// Incidence lists.
-	inc := make([][]graph.WeightedEdge, n)
-	for _, we := range h.WeightedEdges() {
-		for _, v := range we.E {
-			inc[v] = append(inc[v], we)
-		}
+	tr, err := shardplane.NewMembers(n, n, func() (shardplane.ShareMember, error) {
+		return newPlayer(), nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("commsim: %w", err)
 	}
-	for v := 0; v < n; v++ {
-		player := newPlayer()
-		if err := player.UpdateBatch(inc[v]); err != nil {
-			return res, fmt.Errorf("commsim: player %d: %w", v, err)
-		}
-		msg := player.VertexShareFrame(v)
-		interior := len(msg) - codec.ShareOverhead
-		if interior > res.MaxMessageBytes {
-			res.MaxMessageBytes = interior
-		}
-		res.TotalBytes += interior
-		if len(msg) > res.FramedMaxMessageBytes {
-			res.FramedMaxMessageBytes = len(msg)
-		}
-		res.FramedTotalBytes += len(msg)
-		cm.messages.Inc()
-		cm.bytes.Add(int64(interior))
-		cm.framedBytes.Add(int64(len(msg)))
-		rest, err := referee.AddVertexShareFrame(msg)
-		if err != nil {
-			return res, fmt.Errorf("commsim: referee merging player %d: %w", v, err)
-		}
-		if len(rest) != 0 {
-			return res, fmt.Errorf("commsim: player %d message carries %d trailing bytes", v, len(rest))
-		}
+	defer tr.Close()
+	if err := tr.Route(h.WeightedEdges()); err != nil {
+		return res, fmt.Errorf("commsim: %w", err)
+	}
+	st, gatherErr := tr.GatherShares(referee)
+
+	// The model's accounting, interior = framed − envelope per message.
+	res.FramedTotalBytes = int(st.FramedBytes)
+	res.FramedMaxMessageBytes = st.MaxFramedBytes
+	res.TotalBytes = res.FramedTotalBytes - st.Messages*codec.ShareOverhead
+	if st.MaxFramedBytes > 0 {
+		res.MaxMessageBytes = st.MaxFramedBytes - codec.ShareOverhead
+	}
+	cm.messages.Add(int64(st.Messages))
+	cm.bytes.Add(int64(res.TotalBytes))
+	cm.framedBytes.Add(st.FramedBytes)
+	if gatherErr != nil {
+		cm.rejected.Inc()
+		return res, fmt.Errorf("commsim: referee: %w", gatherErr)
 	}
 	return res, nil
 }

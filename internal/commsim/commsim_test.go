@@ -9,6 +9,7 @@ import (
 	"graphsketch/internal/core/reconstruct"
 	"graphsketch/internal/graph"
 	"graphsketch/internal/graphalg"
+	"graphsketch/internal/obs"
 	"graphsketch/internal/sketch"
 	"graphsketch/internal/workload"
 )
@@ -145,6 +146,11 @@ func TestFramedSizesIncludeEnvelope(t *testing.T) {
 }
 
 func TestRefereeRejectsCrossSeedShares(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	rejected := obs.Default().Counter("commsim_shares_rejected_total", "")
+	before := rejected.Value()
+
 	rng := rand.New(rand.NewPCG(7, 8))
 	h := workload.ErdosRenyi(rng, 10, 0.3)
 	dom := h.Domain()
@@ -152,11 +158,24 @@ func TestRefereeRejectsCrossSeedShares(t *testing.T) {
 
 	// Players run under different public randomness than the referee: every
 	// share frame must be refused with the typed fingerprint error (before
-	// the framed format this silently merged to garbage).
+	// the framed format this silently merged to garbage), and the rejection
+	// must be visible on the commsim_shares_rejected_total counter.
 	referee := sketch.NewSpanning(1, dom, cfg)
 	_, err := Run(h, func() Protocol { return sketch.NewSpanning(2, dom, cfg) }, referee)
 	if !errors.Is(err, codec.ErrFingerprint) {
 		t.Fatalf("cross-seed run: got %v, want codec.ErrFingerprint", err)
+	}
+	if got := rejected.Value() - before; got != 1 {
+		t.Fatalf("commsim_shares_rejected_total advanced by %d, want 1", got)
+	}
+
+	// A same-seed run on the same registry must not advance the counter.
+	referee2 := sketch.NewSpanning(3, dom, cfg)
+	if _, err := Run(h, func() Protocol { return sketch.NewSpanning(3, dom, cfg) }, referee2); err != nil {
+		t.Fatal(err)
+	}
+	if got := rejected.Value() - before; got != 1 {
+		t.Fatalf("clean run advanced commsim_shares_rejected_total to %d, want 1", got)
 	}
 }
 

@@ -9,6 +9,7 @@ var cm struct {
 	messages    *obs.Counter // commsim_messages_total
 	bytes       *obs.Counter // commsim_message_bytes_total
 	framedBytes *obs.Counter // commsim_framed_bytes_total
+	rejected    *obs.Counter // commsim_shares_rejected_total
 }
 
 func init() {
@@ -19,5 +20,7 @@ func init() {
 			"Serialized interior bytes of all simulated messages")
 		cm.framedBytes = r.Counter("commsim_framed_bytes_total",
 			"Framed bytes of all simulated messages, codec envelope included")
+		cm.rejected = r.Counter("commsim_shares_rejected_total",
+			"Share frames the referee rejected (fingerprint or frame decode failure)")
 	})
 }

@@ -75,6 +75,34 @@ func (b *BeckerSketch) UpdateBatch(batch []graph.WeightedEdge) error {
 	return nil
 }
 
+// NumVertices returns n, the vertex space the rows shard over.
+func (b *BeckerSketch) NumVertices() int { return b.n }
+
+// UpdateBatchRange applies the batch restricted to endpoints in [lo, hi):
+// for each edge {u, v}, only the rows inside the range are touched. The
+// rows are strictly per-vertex state, so a partition of [0, n) reproduces
+// UpdateBatch exactly — which makes the Becker baseline a shard-plane
+// member like the Theorem 15 sketch it is compared against.
+func (b *BeckerSketch) UpdateBatchRange(batch []graph.WeightedEdge, lo, hi int) error {
+	for _, we := range batch {
+		e := we.E
+		if len(e) != 2 {
+			return errors.New("reconstruct: Becker sketch is defined for graphs (edges of size 2)")
+		}
+		u, v := e[0], e[1]
+		if u < 0 || v >= b.n {
+			return errors.New("reconstruct: vertex out of range")
+		}
+		if u >= lo && u < hi {
+			b.rows[u].Update(uint64(v), we.W)
+		}
+		if v >= lo && v < hi {
+			b.rows[v].Update(uint64(u), we.W)
+		}
+	}
+	return nil
+}
+
 // UpdateGraph applies every edge of h scaled by scale.
 func (b *BeckerSketch) UpdateGraph(h *graph.Hypergraph, scale int64) error {
 	for _, we := range h.WeightedEdges() {

@@ -1,19 +1,25 @@
+// Package engine is the ingestion policy layer over the shard plane
+// (internal/shardplane): batching, stream consumption, and parallel decode
+// pipelines. The shard routing itself — worker pools, vertex-range
+// partitioning, skew metrics, and the TCP cluster transport — lives in
+// shardplane; an Engine is a thin graphsketch.Updater/stream.Sink adapter
+// over any Transport, so the same ingest loop drives an in-process pool
+// and a gsd cluster.
 package engine
 
 import (
-	"errors"
-	"runtime"
 	"sync"
-	"time"
 
 	"graphsketch"
 	"graphsketch/internal/graph"
-	"graphsketch/internal/obs"
+	"graphsketch/internal/shardplane"
 	"graphsketch/internal/stream"
 )
 
-// ErrClosed is returned by updates submitted after Close.
-var ErrClosed = errors.New("engine: closed")
+// ErrClosed is returned by updates submitted after Close. It is the shard
+// plane's closed sentinel: an engine is closed exactly when its transport
+// is.
+var ErrClosed = shardplane.ErrClosed
 
 // DefaultBatchSize is the number of stream updates Consume groups into one
 // parallel dispatch when the caller passes batchSize <= 0. Large enough to
@@ -28,154 +34,75 @@ type Options struct {
 	Workers int
 }
 
-// Engine feeds a Sharded sketch from a pool of persistent workers, each
-// owning a disjoint contiguous vertex range. UpdateBatch blocks until the
-// batch is fully applied, so the engine is a drop-in stream.Sink: calls
-// never overlap, and decoding between calls is safe.
+// Engine feeds a sketch through a shardplane.Transport. UpdateBatch blocks
+// until the batch is fully applied, so the engine is a drop-in
+// stream.Sink: calls never overlap, and decoding between calls is safe.
 //
 // The engine must be released with Close once ingestion is done. Close is
 // idempotent and safe to call concurrently with itself and with in-flight
 // updates: it waits for the running batch and later updates return
 // ErrClosed.
 type Engine struct {
-	target graphsketch.Sharded
-	bounds []int // len(workers)+1 shard boundaries over [0, n)
-	jobs   []chan job
-	wg     sync.WaitGroup
+	tr shardplane.Transport
 
-	// mu serializes dispatches against each other and against Close:
-	// concurrent UpdateBatch callers apply whole batches back to back (the
-	// merged state is identical either way — the sketches are linear), and
-	// Close cannot close a job channel mid-send. It also protects the
-	// dispatch scratch below, which is reused across calls so the
-	// steady-state ingest path performs zero allocations.
-	mu     sync.Mutex
-	closed bool
-	errs   []error // one slot per worker
-	done   sync.WaitGroup
-	one    [1]graph.WeightedEdge // Update's single-edge batch
-
-	stats *engineStats // per-shard skew metrics; nil when obs is disabled
+	// mu guards the single-update scratch; batch serialization itself is
+	// the transport's job.
+	mu  sync.Mutex
+	one [1]graph.WeightedEdge
 }
 
-type job struct {
-	batch    []graph.WeightedEdge
-	enqueued time.Time // dispatch timestamp; zero when obs is disabled
-}
-
-// New returns an engine over target with opt.Workers vertex shards. The
-// shard boundaries are fixed for the engine's lifetime: worker w owns
-// vertices [bounds[w], bounds[w+1]).
+// New returns an engine over target with opt.Workers goroutine shards —
+// the in-process configuration (shardplane.LocalTransport). The shard
+// boundaries are fixed for the engine's lifetime: worker w owns vertices
+// [bounds[w], bounds[w+1]).
 func New(target graphsketch.Sharded, opt Options) *Engine {
-	n := target.NumVertices()
-	w := opt.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	e := &Engine{target: target, jobs: make([]chan job, w)}
-	e.bounds = make([]int, w+1)
-	for i := 0; i <= w; i++ {
-		e.bounds[i] = i * n / w
-	}
-	e.errs = make([]error, w)
-	e.stats = newEngineStats(obs.Default(), w)
-	for i := range e.jobs {
-		e.jobs[i] = make(chan job)
-		e.wg.Add(1)
-		go e.worker(i)
-	}
-	return e
+	return NewWithTransport(shardplane.NewLocal(target, shardplane.Options{Shards: opt.Workers}))
 }
 
-func (e *Engine) worker(i int) {
-	defer e.wg.Done()
-	lo, hi := e.bounds[i], e.bounds[i+1]
-	for j := range e.jobs[i] {
-		if e.stats == nil {
-			e.errs[i] = e.target.UpdateBatchRange(j.batch, lo, hi)
-		} else {
-			started := time.Now()
-			e.errs[i] = e.target.UpdateBatchRange(j.batch, lo, hi)
-			e.stats.observeJob(i, j, started)
-		}
-		e.done.Done()
-	}
+// NewWithTransport returns an engine over an existing transport — the way
+// a gsd coordinator drives a TCP cluster with the same Consume loop the
+// local pool uses. The engine takes ownership: Close closes the transport.
+func NewWithTransport(tr shardplane.Transport) *Engine {
+	return &Engine{tr: tr}
 }
 
-// Workers returns the number of ingestion workers (vertex shards).
-func (e *Engine) Workers() int { return len(e.jobs) }
+// Transport exposes the engine's shard plane, for gathers and shard
+// introspection.
+func (e *Engine) Transport() shardplane.Transport { return e.tr }
 
-// UpdateBatch applies the batch through the worker pool and blocks until
+// Workers returns the number of shards the engine routes over.
+func (e *Engine) Workers() int { return e.tr.Shards() }
+
+// UpdateBatch applies the batch through the shard plane and blocks until
 // every shard has finished. On error the sketch state is unspecified (each
-// shard stops at its first failing edge); the first error by shard index is
-// returned. Concurrent calls are applied one batch at a time; after Close
-// every call returns ErrClosed.
+// shard stops at its first failing edge); the first error by shard index
+// is returned. Concurrent calls are applied one batch at a time; after
+// Close every call returns ErrClosed.
 func (e *Engine) UpdateBatch(batch []graph.WeightedEdge) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.dispatch(batch)
-}
-
-// dispatch fans one batch out to every worker and collects the per-shard
-// errors into the engine scratch. Callers hold e.mu. The whole fan-out is
-// one ingest span (feeding the batch-latency histogram); decode traces
-// started elsewhere stay separate trees — ingest and decode are causally
-// independent.
-func (e *Engine) dispatch(batch []graph.WeightedEdge) error {
-	if e.closed {
-		return ErrClosed
+	if err := e.tr.Route(batch); err != nil {
+		return err
 	}
-	sp := obs.StartSpan("engine.ingest_batch", em.batchLatency)
-	defer sp.End("updates", len(batch), "workers", len(e.jobs))
-	j := job{batch: batch}
-	if e.stats != nil {
-		j.enqueued = time.Now()
-	}
-	for i := range e.errs {
-		e.errs[i] = nil
-	}
-	e.done.Add(len(e.jobs))
-	for i := range e.jobs {
-		e.jobs[i] <- j
-	}
-	if e.stats != nil {
-		// Count shard ownership while the workers run; the dispatcher
-		// would only be blocked on done.Wait otherwise.
-		e.stats.countOwned(batch, e.bounds)
-	}
-	e.done.Wait()
-	if e.stats != nil {
+	if em.batches != nil {
 		em.batches.Inc()
 		em.updates.Add(int64(len(batch)))
-	}
-	for _, err := range e.errs {
-		if err != nil {
-			return err
-		}
 	}
 	return nil
 }
 
-// Update applies a single weighted update through the pool, so the
+// Update applies a single weighted update through the plane, so the
 // single-writer-per-vertex invariant holds even when Update and UpdateBatch
 // calls are mixed. For high-rate streams prefer UpdateBatch or Consume.
 func (e *Engine) Update(ed graph.Hyperedge, delta int64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.one[0] = graph.WeightedEdge{E: ed, W: delta}
-	return e.dispatch(e.one[:])
+	return e.UpdateBatch(e.one[:])
 }
 
-// Consume feeds an entire stream through the pool in batches of batchSize
+// Consume feeds an entire stream through the plane in batches of batchSize
 // (<= 0 means DefaultBatchSize). Consumed update and deletion counts feed
 // the stream ingestion counters (updates/sec and the deletions fraction
 // are derived by the scraper).
@@ -205,20 +132,11 @@ func (e *Engine) Consume(st stream.Stream, batchSize int) error {
 	return nil
 }
 
-// Close shuts the worker pool down and waits for the workers to exit. It
-// is idempotent and safe to call concurrently with in-flight updates: the
+// Close shuts the transport down and waits for its shards to exit. It is
+// idempotent and safe to call concurrently with in-flight updates: the
 // running batch completes first, and later updates return ErrClosed.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return
-	}
-	e.closed = true
-	for i := range e.jobs {
-		close(e.jobs[i])
-	}
-	e.wg.Wait()
+	e.tr.Close()
 }
 
 var _ stream.Sink = (*Engine)(nil)

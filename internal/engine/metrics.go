@@ -1,128 +1,27 @@
 package engine
 
 import (
-	"strconv"
-	"time"
-
-	"graphsketch/internal/graph"
 	"graphsketch/internal/obs"
 )
 
 // Engine-level metric handles, bound by the obs enable hook. They are nil
-// while collection is disabled, and every call site branches on the
-// engine's stats pointer first, so the disabled ingest path never reads a
-// clock or touches an atomic.
+// while collection is disabled, and every call site branches on a handle
+// first, so the disabled ingest path never touches an atomic. Per-shard
+// routing metrics (skew counters, route latency, queue wait) moved to the
+// shard plane with the routing itself: see the shardplane_* family.
 var em struct {
-	batches      *obs.Counter   // engine_batches_total
-	updates      *obs.Counter   // engine_updates_total
-	batchLatency *obs.Histogram // engine_batch_latency_seconds
-	queueWait    *obs.Histogram // engine_queue_wait_seconds
-	decodeSpan   *obs.Histogram // engine_skeleton_decode_seconds
+	batches    *obs.Counter   // engine_batches_total
+	updates    *obs.Counter   // engine_updates_total
+	decodeSpan *obs.Histogram // engine_skeleton_decode_seconds
 }
 
 func init() {
 	obs.OnEnable(func(r *obs.Registry) {
 		em.batches = r.Counter("engine_batches_total",
-			"Batches dispatched through the worker pool")
+			"Batches dispatched through the shard plane")
 		em.updates = r.Counter("engine_updates_total",
 			"Edge updates contained in dispatched batches")
-		em.batchLatency = r.Histogram("engine_batch_latency_seconds",
-			"Wall time of UpdateBatch: dispatch to last shard done", nil)
-		em.queueWait = r.Histogram("engine_queue_wait_seconds",
-			"Time a dispatched job waited before its worker picked it up", nil)
 		em.decodeSpan = r.Histogram("engine_skeleton_decode_seconds",
 			"Wall time of the parallel skeleton decode pipeline", nil)
 	})
-}
-
-// shardStat is one worker shard's skew-detection pair: how many of the
-// dispatched edges the shard actually owned, and how long it spent
-// applying them. A healthy engine shows near-uniform values; a star-graph
-// hot spot shows up as one shard's busy-time dwarfing the rest.
-type shardStat struct {
-	edges *obs.Counter // engine_shard_edges_total{shard="i"}
-	busy  *obs.Gauge   // engine_shard_busy_seconds{shard="i"}
-}
-
-// engineStats is the per-engine handle bundle; nil when the engine was
-// constructed with collection disabled (the fast path).
-type engineStats struct {
-	shards []shardStat
-	owned  []int64 // per-dispatch owned-edge scratch, guarded by Engine.mu
-}
-
-// newEngineStats binds per-shard series against the registry; returns nil
-// on a nil registry, which disables the engine's instrumented paths.
-func newEngineStats(r *obs.Registry, workers int) *engineStats {
-	if r == nil {
-		return nil
-	}
-	st := &engineStats{
-		shards: make([]shardStat, workers),
-		owned:  make([]int64, workers),
-	}
-	for i := range st.shards {
-		shard := strconv.Itoa(i)
-		st.shards[i] = shardStat{
-			edges: r.Counter("engine_shard_edges_total",
-				"Edges owned (>= 1 endpoint in range) per worker shard", "shard", shard),
-			busy: r.Gauge("engine_shard_busy_seconds",
-				"Cumulative time each worker shard spent applying updates", "shard", shard),
-		}
-	}
-	return st
-}
-
-// observeJob records one executed job for shard i: queue wait and busy
-// time. Owned-edge counting happens on the dispatcher (countOwned), not
-// here, so the enabled worker path adds only two clock reads per job.
-func (st *engineStats) observeJob(i int, j job, started time.Time) {
-	em.queueWait.Observe(started.Sub(j.enqueued).Seconds())
-	st.shards[i].busy.Add(time.Since(started).Seconds())
-}
-
-// countOwned tallies, per shard, the batch edges with at least one endpoint
-// in the shard's range. It runs on the dispatcher goroutine while the
-// workers apply the batch — dead time otherwise — so the count costs no
-// worker cycles and no extra wall clock unless the scan outlasts the
-// (much heavier) sampler updates.
-func (st *engineStats) countOwned(batch []graph.WeightedEdge, bounds []int) {
-	w := len(bounds) - 1
-	n := bounds[w]
-	if w == 1 {
-		// One shard owns everything; skip the scan (it would compete with
-		// the single worker for the CPU on single-core machines).
-		st.shards[0].edges.Add(int64(len(batch)))
-		return
-	}
-	for i := range st.owned {
-		st.owned[i] = 0
-	}
-	for _, we := range batch {
-		prev := -1
-		for _, v := range we.E {
-			if v < 0 || v >= n {
-				continue // the owning worker will report the range error
-			}
-			// bounds[i] = i*n/w, so i = v*w/n is at most one off.
-			i := v * w / n
-			for bounds[i+1] <= v {
-				i++
-			}
-			for bounds[i] > v {
-				i--
-			}
-			// Hyperedge endpoints are sorted, so same-shard duplicates
-			// are adjacent: each edge counts once per owning shard.
-			if i != prev {
-				st.owned[i]++
-				prev = i
-			}
-		}
-	}
-	for i, c := range st.owned {
-		if c != 0 {
-			st.shards[i].edges.Add(c)
-		}
-	}
 }

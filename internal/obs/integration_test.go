@@ -53,12 +53,12 @@ func TestMetricFamiliesEndToEnd(t *testing.T) {
 	out := buf.String()
 
 	families := map[string]string{
-		"engine_batch_latency_seconds":          "histogram",
-		"engine_queue_wait_seconds":             "histogram",
+		"shardplane_route_latency_seconds":      "histogram",
+		"shardplane_queue_wait_seconds":         "histogram",
 		"engine_batches_total":                  "counter",
 		"engine_updates_total":                  "counter",
-		"engine_shard_edges_total":              "counter",
-		"engine_shard_busy_seconds":             "gauge",
+		"shardplane_shard_edges_total":          "counter",
+		"shardplane_shard_busy_seconds":         "gauge",
 		"stream_updates_total":                  "counter",
 		"stream_deletes_total":                  "counter",
 		"l0_sample_draws_total":                 "counter",
@@ -84,11 +84,11 @@ func TestMetricFamiliesEndToEnd(t *testing.T) {
 
 	// The path workload must have moved the exercised families.
 	r := obs.Default()
-	if v := r.Counter("engine_shard_edges_total", "", "shard", "0").Value(); v == 0 {
-		t.Error("engine_shard_edges_total{shard=\"0\"} did not advance")
+	if v := r.Counter("shardplane_shard_edges_total", "", "shard", "0").Value(); v == 0 {
+		t.Error("shardplane_shard_edges_total{shard=\"0\"} did not advance")
 	}
-	if c := r.Histogram("engine_batch_latency_seconds", "", nil).Count(); c == 0 {
-		t.Error("engine_batch_latency_seconds recorded no batches")
+	if c := r.Histogram("shardplane_route_latency_seconds", "", nil).Count(); c == 0 {
+		t.Error("shardplane_route_latency_seconds recorded no batches")
 	}
 	if v := r.Counter("l0_sample_success_total", "").Value(); v == 0 {
 		t.Error("l0_sample_success_total did not advance during the decode")
@@ -102,10 +102,10 @@ func TestMetricFamiliesEndToEnd(t *testing.T) {
 
 	// Histogram exposition shape: cumulative buckets ending at +Inf equal
 	// to _count.
-	if !strings.Contains(out, `engine_batch_latency_seconds_bucket{le="+Inf"}`) {
-		t.Error("batch latency histogram missing +Inf bucket")
+	if !strings.Contains(out, `shardplane_route_latency_seconds_bucket{le="+Inf"}`) {
+		t.Error("route latency histogram missing +Inf bucket")
 	}
-	if !strings.Contains(out, "engine_batch_latency_seconds_count") {
-		t.Error("batch latency histogram missing _count")
+	if !strings.Contains(out, "shardplane_route_latency_seconds_count") {
+		t.Error("route latency histogram missing _count")
 	}
 }

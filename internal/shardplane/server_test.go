@@ -1,0 +1,133 @@
+package shardplane
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"graphsketch/internal/codec"
+	"graphsketch/internal/graph"
+	"graphsketch/internal/sketch"
+)
+
+// dialTestServer starts a server and one raw client connection, returning
+// the member prototype's frame and header for hand-crafting protocol steps.
+func dialTestServer(t *testing.T, n int) (net.Conn, []byte, codec.Header) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln)
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+
+	sp, err := sketch.NewSpanningSketch(sketch.SpanningParams{N: n, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, _, _, err := codec.DecodeFrame(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, buf.Bytes(), h
+}
+
+func sayHello(t *testing.T, conn net.Conn, frame []byte, h codec.Header, n int) {
+	t.Helper()
+	payload := appendHello(nil, helloPayload{Shard: 0, Shards: 1, Lo: 0, Hi: uint32(n), Ckpt: frame})
+	hello := codec.Header{Version: codec.Version, Kind: codec.KindHello, Tag: h.Tag, Fingerprint: h.Fingerprint}
+	if err := writeFrame(conn, hello, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAck(conn); err != nil {
+		t.Fatalf("hello ack: %v", err)
+	}
+}
+
+// TestServerRejectsCrossFingerprintHello pins the session-identity gate: a
+// hello whose header fingerprint does not match the embedded member's is
+// acked with codec.ErrFingerprint and the session ends.
+func TestServerRejectsCrossFingerprintHello(t *testing.T) {
+	const n = 12
+	conn, frame, h := dialTestServer(t, n)
+	payload := appendHello(nil, helloPayload{Shard: 0, Shards: 1, Lo: 0, Hi: n, Ckpt: frame})
+	bad := codec.Header{Version: codec.Version, Kind: codec.KindHello, Tag: h.Tag, Fingerprint: h.Fingerprint ^ 1}
+	if err := writeFrame(conn, bad, payload); err != nil {
+		t.Fatal(err)
+	}
+	err := readAck(conn)
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), codec.ErrFingerprint.Error()) {
+		t.Fatalf("bad hello ack: got %v, want ErrRemote wrapping a fingerprint message", err)
+	}
+	// The failed hello ends the session: the next read sees EOF.
+	if _, _, err := readFrame(conn); err == nil {
+		t.Fatal("session survived a rejected hello")
+	}
+}
+
+// TestServerRejectsOutOfRangeHello pins the range gate: an assignment
+// beyond the member's vertex space is refused.
+func TestServerRejectsOutOfRangeHello(t *testing.T) {
+	const n = 12
+	conn, frame, h := dialTestServer(t, n)
+	payload := appendHello(nil, helloPayload{Shard: 0, Shards: 1, Lo: 0, Hi: n + 5, Ckpt: frame})
+	hello := codec.Header{Version: codec.Version, Kind: codec.KindHello, Tag: h.Tag, Fingerprint: h.Fingerprint}
+	if err := writeFrame(conn, hello, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAck(conn); !errors.Is(err, ErrRemote) {
+		t.Fatalf("out-of-range hello ack: got %v, want ErrRemote", err)
+	}
+}
+
+// TestServerRejectsCrossFingerprintBatch pins the per-frame gate inside a
+// healthy session: a batch frame under a different identity is rejected —
+// and the session keeps serving afterwards.
+func TestServerRejectsCrossFingerprintBatch(t *testing.T) {
+	const n = 12
+	conn, frame, h := dialTestServer(t, n)
+	sayHello(t, conn, frame, h, n)
+
+	batch := appendBatch(nil, []graph.WeightedEdge{{E: graph.MustEdge(0, 1), W: 1}})
+	bad := codec.Header{Version: codec.Version, Kind: codec.KindBatch, Tag: h.Tag, Fingerprint: h.Fingerprint ^ 1}
+	if err := writeFrame(conn, bad, batch); err != nil {
+		t.Fatal(err)
+	}
+	err := readAck(conn)
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), codec.ErrFingerprint.Error()) {
+		t.Fatalf("cross-fingerprint batch ack: got %v, want ErrRemote wrapping a fingerprint message", err)
+	}
+
+	// The deterministic rejection did not kill the session: a well-formed
+	// batch and a pull still work.
+	good := codec.Header{Version: codec.Version, Kind: codec.KindBatch, Tag: h.Tag, Fingerprint: h.Fingerprint}
+	if err := writeFrame(conn, good, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAck(conn); err != nil {
+		t.Fatalf("good batch after rejection: %v", err)
+	}
+	pull := codec.Header{Version: codec.Version, Kind: codec.KindPull, Tag: h.Tag, Fingerprint: h.Fingerprint}
+	if err := writeFrame(conn, pull, nil); err != nil {
+		t.Fatal(err)
+	}
+	ch, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Kind != codec.KindCheckpoint {
+		t.Fatalf("pull answered with kind %d, want checkpoint", ch.Kind)
+	}
+}

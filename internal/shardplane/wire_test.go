@@ -1,0 +1,97 @@
+package shardplane
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"graphsketch/internal/codec"
+	"graphsketch/internal/graph"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	ckpt := []byte{0xde, 0xad, 0xbe, 0xef}
+	in := helloPayload{Shard: 2, Shards: 5, Lo: 12, Hi: 30, Ckpt: ckpt}
+	got, err := parseHello(appendHello(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != in.Shard || got.Shards != in.Shards || got.Lo != in.Lo || got.Hi != in.Hi {
+		t.Fatalf("hello roundtrip: got %+v, want %+v", got, in)
+	}
+	if string(got.Ckpt) != string(ckpt) {
+		t.Fatalf("hello checkpoint roundtrip: got %x", got.Ckpt)
+	}
+
+	if _, err := parseHello(appendHello(nil, in)[:10]); !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("truncated hello: got %v, want ErrTruncated", err)
+	}
+	for _, bad := range []helloPayload{
+		{Shard: 0, Shards: 0},               // no shards at all
+		{Shard: 3, Shards: 3},               // index out of range
+		{Shard: 0, Shards: 1, Lo: 9, Hi: 3}, // inverted range
+	} {
+		if _, err := parseHello(appendHello(nil, bad)); err == nil {
+			t.Fatalf("parseHello accepted invalid assignment %+v", bad)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := []graph.WeightedEdge{
+		{E: graph.MustEdge(0, 7), W: 1},
+		{E: graph.Hyperedge{1, 4, 9}, W: -3},
+		{E: graph.MustEdge(2, 3), W: 1 << 40},
+	}
+	p := appendBatch(nil, in)
+	got, err := parseBatch(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("batch roundtrip: %d edges, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i].W != in[i].W || len(got[i].E) != len(in[i].E) {
+			t.Fatalf("edge %d: got %v, want %v", i, got[i], in[i])
+		}
+		for j := range in[i].E {
+			if got[i].E[j] != in[i].E[j] {
+				t.Fatalf("edge %d: got %v, want %v", i, got[i], in[i])
+			}
+		}
+	}
+
+	// The parser appends onto its destination (the server session reuses
+	// one scratch slice across frames).
+	again, err := parseBatch(got[:0], p)
+	if err != nil || len(again) != len(in) {
+		t.Fatalf("reused-scratch parse: %d edges, %v", len(again), err)
+	}
+
+	if _, err := parseBatch(nil, p[:len(p)-3]); !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("truncated batch: got %v, want ErrTruncated", err)
+	}
+	if _, err := parseBatch(nil, append(p, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := parseBatch(nil, p[:2]); !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("short header: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	if err := parseAck(appendAck(nil, nil)); err != nil {
+		t.Fatalf("ok ack: %v", err)
+	}
+	err := parseAck(appendAck(nil, errors.New("sampler refused")))
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("error ack: got %v, want ErrRemote", err)
+	}
+	if want := "sampler refused"; err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("error ack lost the shard's message: %v", err)
+	}
+	if err := parseAck(nil); !errors.Is(err, codec.ErrTruncated) {
+		t.Fatalf("empty ack: got %v, want ErrTruncated", err)
+	}
+}
