@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-diff codec-check \
 	obs-check cluster-check fmt-check ci lint lint-gsvet lint-staticcheck \
-	lint-govulncheck
+	lint-govulncheck lint-timing lint-json
 
 # Benchmark knobs for bench-json: runs to average and time per run.
 # CI smoke uses BENCHTIME=1x; real measurements want the defaults or more.
@@ -95,13 +95,34 @@ fmt-check:
 
 # Static analysis gate: the in-tree invariant suite (cmd/gsvet —
 # mapdeterminism, seeddiscipline, obshandles, checkpointopener,
-# epochguard, spanend, transportclose) plus the
-# pinned external linters. gsvet needs only the Go toolchain and always
-# runs; see the version pins above for the external-tool gating.
+# epochguard, spanend, transportclose, plus the CFG-backed lockatomic,
+# errsentinel, and goroutineleak) plus the pinned external linters. gsvet
+# needs only the Go toolchain and always runs; see the version pins above
+# for the external-tool gating.
 lint: lint-gsvet lint-staticcheck lint-govulncheck
 
 lint-gsvet:
 	$(GO) run ./cmd/gsvet ./...
+
+# Machine-readable findings (including suppressed ones, for the audit
+# trail); CI uploads the file as an artifact. Not a gate — `make lint`
+# blocks on live findings, this step records them even when it fails.
+LINT_JSON ?= gsvet.json
+lint-json:
+	$(GO) run ./cmd/gsvet -json ./... > $(LINT_JSON) || true
+	@echo "lint: findings written to $(LINT_JSON)"
+
+# Wall-clock budget for the module-wide gsvet run (seconds). The CFG +
+# dataflow analyzers must stay cheap enough for the edit loop; the budget
+# is generous against CI jitter but catches an accidental quadratic blowup.
+LINT_BUDGET ?= 120
+lint-timing:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/gsvet ./... >/dev/null; \
+	end=$$(date +%s); took=$$((end - start)); \
+	echo "lint-timing: gsvet module run took $${took}s (budget $(LINT_BUDGET)s)"; \
+	if [ $$took -gt $(LINT_BUDGET) ]; then \
+		echo "lint-timing: budget exceeded"; exit 1; fi
 
 lint-staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

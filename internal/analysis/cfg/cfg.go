@@ -1,0 +1,427 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs forward dataflow analyses over them. It is the
+// shared core of gsvet's flow-sensitive analyzers (lockatomic, errsentinel,
+// goroutineleak), stdlib-only like the rest of internal/analysis.
+//
+// The graph is statement-granular: each basic block holds the ast.Stmt and
+// condition ast.Expr nodes executed straight-line, and edges carry Go's
+// structured control flow — if/else, for and range loops, switch and type
+// switch (including fallthrough), select, goto, and labeled break/continue.
+// Two properties matter to the analyzers built on top:
+//
+//   - Exit reachability is honest about blocking. A `select {}` with no
+//     cases and a `for {}` with no break have no outgoing edge toward Exit,
+//     so a goroutine whose only behavior is such a loop shows Exit as
+//     unreachable — the goroutineleak signal. A `range ch` loop keeps its
+//     exit edge (channel close ends it), as does a select with a
+//     returnable case.
+//
+//   - panic and calls that never return (os.Exit, log.Fatal*, runtime
+//     Goexit) edge to Exit: for leak and reaching-fact purposes the
+//     function's execution ends there.
+//
+// Dataflow is the classic forward worklist over the block graph; see
+// ForwardProblem. Facts join at merge points and the per-node transfer
+// function is re-applied inside a block to recover the fact at each
+// statement (FactAt).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: nodes executed in order with no internal
+// branching, then a transfer to one of Succs.
+type Block struct {
+	Index int        // position in CFG.Blocks; Blocks[Index] == this block
+	Kind  string     // human label for dumps: "entry", "for.head", "case", ...
+	Nodes []ast.Node // ast.Stmt and condition ast.Expr nodes, in order
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry; Exit is the synthetic return point (it is in Blocks too).
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// New builds the CFG of a function body. The body may come from an
+// ast.FuncDecl or ast.FuncLit; a nil body yields a trivial entry->exit
+// graph (e.g. an assembly-backed declaration).
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{}
+	entry := b.newBlock("entry")
+	exit := b.newBlock("exit")
+	b.exit = exit
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(exit)
+	g := &CFG{Blocks: b.blocks, Exit: exit}
+	return g
+}
+
+// Reachable returns the set of blocks reachable from the entry block.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	if len(g.Blocks) == 0 {
+		return seen
+	}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Blocks[0])
+	return seen
+}
+
+// builder carries the construction state: the current block, the branch
+// targets in scope, and the label environment.
+type builder struct {
+	blocks []*Block
+	cur    *Block // nil after a terminating statement (return, goto, ...)
+	exit   *Block
+
+	// breaks and continues are target stacks; each frame carries the label
+	// of the enclosing labeled statement ("" when unlabeled).
+	breaks    []targetFrame
+	continues []targetFrame
+
+	// labels maps a label name to its goto-target block, created on demand
+	// so forward gotos resolve.
+	labels map[string]*Block
+
+	// pendingLabel is the label naming the next loop/switch/select, consumed
+	// by the construct so labeled break/continue find their frames.
+	pendingLabel string
+}
+
+type targetFrame struct {
+	label string
+	block *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.blocks), Kind: kind}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur->to when cur is live, then leaves cur unchanged.
+// A nil target (a branch with no enclosing frame, which gofmt'd code cannot
+// produce) is dropped rather than crashing the analyzer.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil && to != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+}
+
+// startBlock makes blk current, regardless of whether control can reach it
+// (unreachable code still gets blocks; Reachable sorts it out).
+func (b *builder) startBlock(blk *Block) {
+	b.cur = blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) findTarget(frames []targetFrame, label string) *Block {
+	for i := len(frames) - 1; i >= 0; i-- {
+		if label == "" || frames[i].label == label {
+			return frames[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		blk := b.labelBlock(s.Label.Name)
+		b.jump(blk)
+		b.startBlock(blk)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.jump(b.findTarget(b.breaks, label))
+		case token.CONTINUE:
+			b.jump(b.findTarget(b.continues, label))
+		case token.GOTO:
+			b.jump(b.labelBlock(label))
+		case token.FALLTHROUGH:
+			// Handled by the switch construction: the fall edge is added
+			// when the case bodies are linked.
+			return
+		}
+		b.cur = nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		thenB := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		b.jump(thenB)
+		if s.Else != nil {
+			elseB := b.newBlock("if.else")
+			b.jump(elseB)
+			b.startBlock(thenB)
+			b.stmt(s.Body)
+			b.jump(done)
+			b.startBlock(elseB)
+			b.stmt(s.Else)
+			b.jump(done)
+		} else {
+			b.jump(done)
+			b.startBlock(thenB)
+			b.stmt(s.Body)
+			b.jump(done)
+		}
+		b.startBlock(done)
+
+	case *ast.ForStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		b.jump(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(body)
+			b.jump(done)
+		} else {
+			// `for {}`: no implicit exit edge — only break/return leave.
+			b.jump(body)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.breaks = append(b.breaks, targetFrame{label, done})
+		b.continues = append(b.continues, targetFrame{label, post})
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.jump(post)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if s.Post != nil {
+			b.startBlock(post)
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.startBlock(done)
+
+	case *ast.RangeStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.jump(head)
+		b.startBlock(head)
+		// Only the ranged expression is the head's node — adding the whole
+		// RangeStmt would duplicate the body statements (they get their own
+		// blocks below) and mis-attribute their dataflow facts to the head.
+		b.add(s.X)
+		// A range loop always has an exit edge: slices/maps/ints end, and a
+		// channel range ends when the channel is closed — that close is the
+		// shutdown edge goroutineleak looks for.
+		b.jump(body)
+		b.jump(done)
+		b.breaks = append(b.breaks, targetFrame{label, done})
+		b.continues = append(b.continues, targetFrame{label, head})
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.jump(head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.startBlock(done)
+
+	case *ast.SwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, "case")
+
+	case *ast.TypeSwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, "typecase")
+
+	case *ast.SelectStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		done := b.newBlock("select.done")
+		caseBlocks := make([]*Block, len(s.Body.List))
+		for i := range s.Body.List {
+			caseBlocks[i] = b.newBlock("select.case")
+		}
+		// `select {}` blocks forever: with no cases, cur gets no edge at all
+		// and everything after the select is unreachable.
+		for _, cb := range caseBlocks {
+			b.jump(cb)
+		}
+		b.breaks = append(b.breaks, targetFrame{label, done})
+		for i, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			b.startBlock(caseBlocks[i])
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(done)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.startBlock(done)
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if neverReturns(s.X) {
+			b.jump(b.exit)
+			b.cur = nil
+		}
+
+	default:
+		// Unknown statement kinds are treated as straight-line.
+		b.add(s)
+	}
+}
+
+// switchBody links the clauses of a switch or type switch: the head edges
+// to every case (and past the whole switch when there is no default), and
+// a fallthrough terminator chains a case body to the next clause's body.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, kind string) {
+	done := b.newBlock(kind + ".done")
+	var caseBlocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseBlocks = append(caseBlocks, b.newBlock(kind))
+	}
+	for _, cb := range caseBlocks {
+		b.jump(cb)
+	}
+	if !hasDefault {
+		b.jump(done)
+	}
+	b.breaks = append(b.breaks, targetFrame{label, done})
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		b.startBlock(caseBlocks[i])
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		falls := false
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(s)
+		}
+		if falls && i+1 < len(caseBlocks) {
+			b.jump(caseBlocks[i+1])
+			b.cur = nil
+		} else {
+			b.jump(done)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.startBlock(done)
+}
+
+// neverReturns reports whether the expression statement provably ends the
+// function's execution: panic, runtime.Goexit, os.Exit, or log.Fatal*.
+func neverReturns(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fn.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fn.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,358 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds the function named name, and
+// returns its CFG and FileSet.
+func buildFunc(t *testing.T, src, name string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body), fset
+		}
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil, nil
+}
+
+// TestDumpGoldens pins the block/edge structure for each control-flow
+// construct the analyzers rely on. The dumps are exact: a builder change
+// that reshapes any graph shows up as a golden diff.
+func TestDumpGoldens(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "forLoop",
+			src: `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`,
+			want: `b0 entry: {s := 0} {i := 0} -> b2
+b1 exit:
+b2 for.head: {i < n} -> b3 b4
+b3 for.body: {s += i} -> b5
+b4 for.done: {return s} -> b1
+b5 for.post: {i++} -> b2
+`,
+		},
+		{
+			name: "infiniteLoopNoBreak",
+			src: `package p
+func f() {
+	for {
+		work()
+	}
+}
+func work() {}`,
+			want: `b0 entry: -> b2
+b1 exit: (unreachable)
+b2 for.head: -> b3
+b3 for.body: {work()} -> b2
+b4 for.done: -> b1 (unreachable)
+`,
+		},
+		{
+			name: "rangeChannel",
+			src: `package p
+func f(ch chan int) int {
+	s := 0
+	for v := range ch {
+		s += v
+	}
+	return s
+}`,
+			want: `b0 entry: {s := 0} -> b2
+b1 exit:
+b2 range.head: {ch} -> b3 b4
+b3 range.body: {s += v} -> b2
+b4 range.done: {return s} -> b1
+`,
+		},
+		{
+			name: "switchFallthrough",
+			src: `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x--
+	default:
+		x = 0
+	}
+	return x
+}`,
+			want: `b0 entry: {x} -> b3 b4 b5
+b1 exit:
+b2 case.done: {return x} -> b1
+b3 case: {1} {x++} -> b4
+b4 case: {2} {x--} -> b2
+b5 case: {x = 0} -> b2
+`,
+		},
+		{
+			name: "switchNoDefault",
+			src: `package p
+func f(x int) int {
+	switch {
+	case x > 0:
+		x = 1
+	}
+	return x
+}`,
+			want: `b0 entry: -> b3 b2
+b1 exit:
+b2 case.done: {return x} -> b1
+b3 case: {x > 0} {x = 1} -> b2
+`,
+		},
+		{
+			name: "selectShutdown",
+			src: `package p
+func f(done chan struct{}, jobs chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case j := <-jobs:
+			use(j)
+		}
+	}
+}
+func use(int) {}`,
+			want: `b0 entry: -> b2
+b1 exit:
+b2 for.head: -> b3
+b3 for.body: -> b6 b7
+b4 for.done: -> b1 (unreachable)
+b5 select.done: -> b2
+b6 select.case: {<-done} {return} -> b1
+b7 select.case: {j := <-jobs} {use(j)} -> b5
+`,
+		},
+		{
+			name: "selectEmpty",
+			src: `package p
+func f() {
+	select {}
+	println("never")
+}`,
+			want: `b0 entry:
+b1 exit: (unreachable)
+b2 select.done: {println("never")} -> b1 (unreachable)
+`,
+		},
+		{
+			name: "labeledBreakContinue",
+			src: `package p
+func f(m [][]int) int {
+	s := 0
+outer:
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < 0 {
+				continue outer
+			}
+			if m[i][j] == 99 {
+				break outer
+			}
+			s += j
+		}
+	}
+	return s
+}`,
+			want: `b0 entry: {s := 0} -> b2
+b1 exit:
+b2 label.outer: -> b3
+b3 range.head: {m} -> b4 b5
+b4 range.body: -> b6
+b5 range.done: {return s} -> b1
+b6 range.head: {m[i]} -> b7 b8
+b7 range.body: {m[i][j] < 0} -> b9 b10
+b8 range.done: -> b3
+b9 if.then: {continue outer} -> b3
+b10 if.done: {m[i][j] == 99} -> b11 b12
+b11 if.then: {break outer} -> b5
+b12 if.done: {s += j} -> b6
+`,
+		},
+		{
+			name: "deferAndPanic",
+			src: `package p
+func f(ok bool) {
+	defer cleanup()
+	if !ok {
+		panic("bad")
+	}
+	run()
+}
+func cleanup() {}
+func run()     {}`,
+			want: `b0 entry: {defer cleanup()} {!ok} -> b2 b3
+b1 exit:
+b2 if.then: {panic("bad")} -> b1
+b3 if.done: {run()} -> b1
+`,
+		},
+		{
+			name: "gotoLoop",
+			src: `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`,
+			want: `b0 entry: {i := 0} -> b2
+b1 exit:
+b2 label.loop: {i < n} -> b3 b4
+b3 if.then: {i++} {goto loop} -> b2
+b4 if.done: {return i} -> b1
+`,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, fset := buildFunc(t, tc.src, "f")
+			got := g.Dump(fset)
+			if got != tc.want {
+				t.Errorf("dump mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestExitReachability pins the property goroutineleak is built on.
+func TestExitReachability(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		src       string
+		reachable bool
+	}{
+		{"straightLine", `package p
+func f() { println("hi") }`, true},
+		{"infiniteFor", `package p
+func f() { for { } }`, false},
+		{"forWithBreak", `package p
+func f() { for { break } }`, true},
+		{"emptySelect", `package p
+func f() { select {} }`, false},
+		{"selectWithReturn", `package p
+func f(done chan int) { for { select { case <-done: return } } }`, true},
+		{"selectNoExitCase", `package p
+func f(jobs chan int) { for { select { case j := <-jobs: _ = j } } }`, false},
+		{"osExit", `package p
+import "os"
+func f() { os.Exit(1) }`, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, _ := buildFunc(t, tc.src, "f")
+			if got := g.Reachable()[g.Exit]; got != tc.reachable {
+				t.Errorf("exit reachable = %v; want %v", got, tc.reachable)
+			}
+		})
+	}
+}
+
+// TestForwardReachingConstants exercises the dataflow solver with a tiny
+// constant-propagation-flavored problem: which assignments to x can reach
+// each use. The lattice is the powerset of assignment labels.
+func TestForwardReachingConstants(t *testing.T) {
+	src := `package p
+func f(cond bool) int {
+	x := 1
+	if cond {
+		x = 2
+	}
+	return x
+}`
+	g, _ := buildFunc(t, src, "f")
+
+	type fact = map[string]bool
+	prob := ForwardProblem[fact]{
+		Entry: fact{},
+		Transfer: func(n ast.Node, in fact) fact {
+			var label string
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				label = nodeLabel(n)
+			default:
+				return in
+			}
+			out := fact{label: true} // assignment to x kills prior defs
+			return out
+		},
+		Join: func(a, b fact) fact {
+			out := fact{}
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in := prob.Solve(g)
+
+	// Find the block holding `return x` and the fact at its entry.
+	var retBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = b
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("no return block found")
+	}
+	got := in[retBlock]
+	if len(got) != 2 || !got["x := 1"] || !got["x = 2"] {
+		t.Errorf("reaching defs at return = %v; want {x := 1, x = 2}", got)
+	}
+}
+
+func nodeLabel(n *ast.AssignStmt) string {
+	var sb strings.Builder
+	sb.WriteString("x ")
+	sb.WriteString(n.Tok.String())
+	sb.WriteString(" ")
+	switch v := n.Rhs[0].(type) {
+	case *ast.BasicLit:
+		sb.WriteString(v.Value)
+	}
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package cfg
+
+import "go/ast"
+
+// ForwardProblem is a forward dataflow analysis over a CFG with fact type F.
+// Facts flow along edges; Join merges facts at control-flow merges, and
+// Transfer advances a fact across one node (a statement or a condition
+// expression). Transfer must not mutate its input fact — return a fresh
+// value when the node changes it (returning the input unchanged is fine).
+type ForwardProblem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Transfer advances the fact across one block node.
+	Transfer func(n ast.Node, in F) F
+	// Join merges two incoming facts at a merge point.
+	Join func(a, b F) F
+	// Equal reports fact equality; the fixpoint iteration stops when every
+	// block's input fact is stable under Equal.
+	Equal func(a, b F) bool
+}
+
+// Solve runs the worklist iteration to fixpoint and returns the fact at the
+// *entry* of every reachable block. Facts inside a block are recovered with
+// FactAt. Unreachable blocks are absent from the result.
+func (p ForwardProblem[F]) Solve(g *CFG) map[*Block]F {
+	in := make(map[*Block]F)
+	if len(g.Blocks) == 0 {
+		return in
+	}
+	entry := g.Blocks[0]
+	in[entry] = p.Entry
+
+	// The worklist is a FIFO seeded with the entry; a block re-queues its
+	// successors whenever its output changes their input. Termination needs
+	// Join to be monotone over a finite lattice, which every analyzer-side
+	// fact (sets of locks, sets of reaching definitions) satisfies.
+	work := []*Block{entry}
+	queued := map[*Block]bool{entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := p.flowBlock(b, in[b])
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			next := out
+			if ok {
+				next = p.Join(cur, out)
+			}
+			if !ok || !p.Equal(cur, next) {
+				in[s] = next
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// flowBlock folds Transfer over the block's nodes.
+func (p ForwardProblem[F]) flowBlock(b *Block, f F) F {
+	for _, n := range b.Nodes {
+		f = p.Transfer(n, f)
+	}
+	return f
+}
+
+// FactAt replays the block's transfer up to (but not including) node and
+// returns the fact holding immediately before it. in must be the block's
+// entry fact from Solve. The node is matched by identity; when absent, the
+// block's output fact is returned.
+func (p ForwardProblem[F]) FactAt(b *Block, in F, node ast.Node) F {
+	for _, n := range b.Nodes {
+		if n == node {
+			return in
+		}
+		in = p.Transfer(n, in)
+	}
+	return in
+}

@@ -1,0 +1,55 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph as deterministic text for golden tests: one line
+// per block, in construction order, with its nodes printed source-style and
+// its successor indices. Unreachable blocks are marked so goldens pin both
+// the shape and the reachability the analyzers depend on.
+//
+//	b0 entry: x := 0 -> b2
+//	b2 for.head: x < n -> b3 b4
+func (g *CFG) Dump(fset *token.FileSet) string {
+	reach := g.Reachable()
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		// Skip empty connector blocks with a single successor only when
+		// nothing distinguishes them; keeping every block keeps the goldens
+		// an exact record of construction, so dump all of them.
+		fmt.Fprintf(&sb, "b%d %s:", b.Index, b.Kind)
+		for _, n := range b.Nodes {
+			fmt.Fprintf(&sb, " {%s}", printNode(fset, n))
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		if !reach[b] {
+			sb.WriteString(" (unreachable)")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// printNode renders one node as single-line source text.
+func printNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	// Collapse any internal newlines/indentation so each node is one line.
+	fields := strings.Fields(s)
+	return strings.Join(fields, " ")
+}

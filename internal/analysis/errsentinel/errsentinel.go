@@ -1,0 +1,367 @@
+// Package errsentinel enforces the wire plane's typed-error discipline:
+// error-returning functions in internal/codec, internal/shardplane, and
+// internal/oracle must return a package sentinel, a %w-wrap of an error, or
+// an error passed through from a callee — never a freshly constructed
+// dynamic error.
+//
+// The shard plane's failure handling branches with errors.Is end to end:
+// codec.ErrFingerprint decides reject-vs-retry, shardplane.ErrRemote
+// separates deterministic rejection from transport failure (reconnect), and
+// graphsketch.ErrStaleDecode tells an oracle caller the state is intact.
+// One `errors.New` on a return path in these packages silently breaks that
+// chain — the caller's errors.Is sees an opaque string and takes the wrong
+// recovery branch, typically on exactly the failure path tests never hit.
+//
+// The check is flow-sensitive via the shared CFG core: for every return of
+// an error the analyzer computes the assignments reaching the returned
+// variable (reaching-definitions dataflow, package cfg) and requires each
+// reaching source to be a sentinel (a package-level error variable, any
+// package), a fmt.Errorf whose format contains %w, a callee result, or nil.
+// A reaching errors.New or %w-less fmt.Errorf is reported at the return.
+// Suppress a justified dynamic error with //lint:ignore errsentinel <reason>.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphsketch/internal/analysis"
+	"graphsketch/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "error returns in internal/codec, internal/shardplane, and internal/oracle must be a package sentinel, a %w-wrap, or a passed-through callee error — dynamic errors break the wire plane's errors.Is chains",
+	Run:  run,
+}
+
+// targetPackages are the wire-plane packages the discipline applies to,
+// matched by import-path suffix (so the golden stand-ins match too).
+var targetPackages = []string{"codec", "shardplane", "oracle"}
+
+func run(pass *analysis.Pass) error {
+	if !inTarget(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Type, fd.Body)
+			// Function literals return errors of their own; each gets its
+			// own CFG and reaching-definitions pass.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func inTarget(path string) bool {
+	for _, t := range targetPackages {
+		if path == t || strings.HasSuffix(path, "/"+t) {
+			return true
+		}
+	}
+	return false
+}
+
+// defsFact maps an error-typed variable to the set of RHS expressions whose
+// assignments reach the current point. The nilDef marker stands for a
+// zero-value declaration (var err error), which is a fine source.
+type defsFact map[types.Object]map[ast.Expr]bool
+
+var nilDef = ast.Expr(&ast.Ident{Name: "<zero>"})
+
+func (f defsFact) clone() defsFact {
+	out := make(defsFact, len(f))
+	for k, v := range f {
+		set := make(map[ast.Expr]bool, len(v))
+		for e := range v {
+			set[e] = true
+		}
+		out[k] = set
+	}
+	return out
+}
+
+// checkFunc runs the reaching-definitions analysis over one function body
+// and validates the error expression of every return statement in it.
+func checkFunc(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	if ftype.Results == nil || len(ftype.Results.List) == 0 {
+		return
+	}
+	last := ftype.Results.List[len(ftype.Results.List)-1]
+	if !isErrorType(pass.TypesInfo.TypeOf(last.Type)) {
+		return
+	}
+	// Named results start as zero-value definitions.
+	entry := defsFact{}
+	for _, name := range last.Names {
+		if obj := pass.TypesInfo.Defs[name]; obj != nil {
+			entry[obj] = map[ast.Expr]bool{nilDef: true}
+		}
+	}
+
+	g := cfg.New(body)
+	prob := cfg.ForwardProblem[defsFact]{
+		Entry:    entry,
+		Transfer: func(n ast.Node, in defsFact) defsFact { return transfer(pass, n, in) },
+		Join:     joinDefs,
+		Equal:    equalDefs,
+	}
+	in := prob.Solve(g)
+
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				here := prob.FactAt(b, fact, n)
+				checkReturn(pass, ftype, ret, here)
+			}
+		}
+	}
+}
+
+// transfer records assignments to error-typed variables. Statement
+// granularity: the whole node's top-level assignment is inspected, nested
+// function literals are skipped (they are analyzed on their own).
+func transfer(pass *analysis.Pass, n ast.Node, in defsFact) defsFact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		out := in
+		record := func(lhs, rhs ast.Expr) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !isErrorType(obj.Type()) {
+				return
+			}
+			if out == nil || sameMap(out, in) {
+				out = in.clone()
+			}
+			out[obj] = map[ast.Expr]bool{rhs: true}
+		}
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			for _, lhs := range n.Lhs {
+				record(lhs, n.Rhs[0])
+			}
+		} else if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				record(n.Lhs[i], n.Rhs[i])
+			}
+		}
+		return out
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return in
+		}
+		out := in
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				if sameMap(out, in) {
+					out = in.clone()
+				}
+				switch {
+				case len(vs.Values) > i:
+					out[obj] = map[ast.Expr]bool{vs.Values[i]: true}
+				default:
+					out[obj] = map[ast.Expr]bool{nilDef: true}
+				}
+			}
+		}
+		return out
+	}
+	return in
+}
+
+func sameMap(a, b defsFact) bool {
+	return len(a) == len(b) && (len(a) == 0 || equalDefs(a, b))
+}
+
+func joinDefs(a, b defsFact) defsFact {
+	out := a.clone()
+	for obj, defs := range b {
+		if out[obj] == nil {
+			out[obj] = make(map[ast.Expr]bool, len(defs))
+		}
+		for e := range defs {
+			out[obj][e] = true
+		}
+	}
+	return out
+}
+
+func equalDefs(a, b defsFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj, da := range a {
+		db, ok := b[obj]
+		if !ok || len(da) != len(db) {
+			return false
+		}
+		for e := range da {
+			if !db[e] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkReturn validates the error position of one return statement.
+func checkReturn(pass *analysis.Pass, ftype *ast.FuncType, ret *ast.ReturnStmt, fact defsFact) {
+	nres := 0
+	for _, f := range ftype.Results.List {
+		if len(f.Names) == 0 {
+			nres++
+		} else {
+			nres += len(f.Names)
+		}
+	}
+	var errExpr ast.Expr
+	switch {
+	case len(ret.Results) == 0:
+		// Naked return: the named error result's reaching defs decide.
+		last := ftype.Results.List[len(ftype.Results.List)-1]
+		if len(last.Names) == 0 {
+			return
+		}
+		errExpr = last.Names[len(last.Names)-1]
+	case len(ret.Results) == nres:
+		errExpr = ret.Results[len(ret.Results)-1]
+	case len(ret.Results) == 1:
+		// return f() forwarding a tuple: a callee result, passes.
+		return
+	default:
+		return
+	}
+	if bad, why := classify(pass, errExpr, fact, 0); bad != nil {
+		pass.Reportf(ret.Pos(),
+			"returns a dynamic error (%s): return a package sentinel or wrap one with fmt.Errorf(\"...: %%w\", ...) so errors.Is works across the wire plane", why)
+	}
+}
+
+// classify decides whether expr is an acceptable error source. It returns
+// the offending expression and a description when it is not. depth bounds
+// the variable-chase through reaching definitions.
+func classify(pass *analysis.Pass, expr ast.Expr, fact defsFact, depth int) (ast.Expr, string) {
+	if depth > 4 || expr == nilDef {
+		return nil, ""
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return nil, ""
+		}
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return nil, ""
+		}
+		if isSentinel(obj) {
+			return nil, ""
+		}
+		if defs, ok := fact[obj]; ok {
+			for d := range defs {
+				if bad, why := classify(pass, d, fact, depth+1); bad != nil {
+					return bad, why
+				}
+			}
+		}
+		// A parameter, closed-over variable, or untracked local: treated as
+		// passed-through.
+		return nil, ""
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil && isSentinel(obj) {
+			return nil, "" // pkg.ErrFoo
+		}
+		return nil, "" // struct field or method value: not provably dynamic
+	case *ast.CallExpr:
+		return classifyCall(pass, e)
+	case *ast.ParenExpr:
+		return classify(pass, e.X, fact, depth)
+	}
+	return nil, ""
+}
+
+// classifyCall flags errors.New and %w-less fmt.Errorf at a return source;
+// every other call is a callee result passing through.
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return nil, ""
+	}
+	switch {
+	case pkgName.Imported().Path() == "errors" && sel.Sel.Name == "New":
+		return call, "errors.New on the return path"
+	case pkgName.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf":
+		if len(call.Args) > 0 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
+				return call, "fmt.Errorf without %w"
+			}
+		}
+	}
+	return nil, ""
+}
+
+// isSentinel reports whether obj is a package-level error variable — the
+// sentinel convention, in any package (codec.ErrFingerprint,
+// graphsketch.ErrStaleDecode, io.EOF, a local package's own sentinels).
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Parent() == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return isErrorType(v.Type())
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

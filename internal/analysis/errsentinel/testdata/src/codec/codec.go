@@ -1,0 +1,100 @@
+// Package codec is the golden stand-in for internal/codec: the sentinel
+// discipline applies here, so dynamic error returns are flagged.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrTruncated is this package's sentinel.
+var ErrTruncated = errors.New("codec: truncated frame")
+
+// Bad: errors.New directly on a return path.
+func decodeDirect(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("codec: empty input") // want `dynamic error \(errors.New on the return path\)`
+	}
+	return nil
+}
+
+// Bad: fmt.Errorf without %w loses the chain.
+func decodeFmt(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("codec: short frame: %d bytes", len(b)) // want `dynamic error \(fmt.Errorf without %w\)`
+	}
+	return nil
+}
+
+// Bad: the dynamic error reaches the return through a variable.
+func decodeViaVar(b []byte) error {
+	var err error
+	if len(b) == 0 {
+		err = errors.New("codec: empty") // the def site
+	}
+	return err // want `dynamic error \(errors.New on the return path\)`
+}
+
+// OK: returning the package sentinel.
+func decodeSentinel(b []byte) error {
+	if len(b) < 8 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// OK: %w-wrapping a sentinel keeps errors.Is working.
+func decodeWrap(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("codec: frame is %d bytes: %w", len(b), ErrTruncated)
+	}
+	return nil
+}
+
+// OK: a foreign package's sentinel is still a sentinel.
+func decodeForeign() error {
+	return io.EOF
+}
+
+// OK: passing a callee's error through, bare and wrapped.
+func decodeThrough(r io.Reader) error {
+	buf := make([]byte, 8)
+	if _, err := r.Read(buf); err != nil {
+		return fmt.Errorf("codec: reading header: %w", err)
+	}
+	_, err := r.Read(buf)
+	return err
+}
+
+// OK: the branch assigning a wrap and the branch assigning a callee error
+// both reach the return; neither is dynamic.
+func decodeBranches(r io.Reader, strict bool) error {
+	var err error
+	if strict {
+		err = fmt.Errorf("codec: strict mode: %w", ErrTruncated)
+	} else {
+		_, err = r.Read(nil)
+	}
+	return err
+}
+
+// OK: naked return of a named error result fed by a callee.
+func decodeNamed(r io.Reader) (n int, err error) {
+	n, err = r.Read(nil)
+	return
+}
+
+// Bad: naked return with a dynamic def reaching it.
+func decodeNamedBad(b []byte) (err error) {
+	if len(b) == 0 {
+		err = fmt.Errorf("codec: empty input of length %d", len(b))
+	}
+	return // want `dynamic error \(fmt.Errorf without %w\)`
+}
+
+// OK (suppressed): documented exception.
+func decodeSuppressed() error {
+	//lint:ignore errsentinel config validation message is terminal, never branched on
+	return errors.New("codec: not configured")
+}

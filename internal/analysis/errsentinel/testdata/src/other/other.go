@@ -1,0 +1,12 @@
+// Package other is outside the wire-plane packages: the sentinel
+// discipline does not apply, so nothing here is flagged.
+package other
+
+import "errors"
+
+func validate(n int) error {
+	if n < 0 {
+		return errors.New("other: negative")
+	}
+	return nil
+}

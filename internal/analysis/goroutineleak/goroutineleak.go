@@ -1,0 +1,109 @@
+// Package goroutineleak flags `go` statements that spawn goroutines with no
+// reachable shutdown edge.
+//
+// The shard plane, engine, and obs layers all run worker goroutines, and
+// the ROADMAP's multi-process direction multiplies them. A goroutine whose
+// body can never reach its end — a `for {}` with no break, a drain loop
+// over a channel nobody closes behind a select with no exit case — is a
+// leak the runtime never reclaims: it pins its stack, its captures, and
+// (in the shard plane) a connection or a sketch shard, and under churn the
+// process accumulates them until it dies. `-race` and goleak only catch
+// the instance a test happens to spawn; this analyzer proves the absence
+// of the structural case for every spawn site.
+//
+// The check is CFG exit-reachability over the spawned body (package cfg):
+// the function's exit must be reachable from its entry. Every legitimate
+// shutdown idiom passes naturally, because each one is an edge toward the
+// exit —
+//
+//   - a select with a context/done-channel case that returns or breaks,
+//   - `for range jobs` (the channel close on the Close path ends it),
+//   - a bounded loop or a straight-line body (WaitGroup-paired workers),
+//   - a blocking call that returns on Close (http.Serve, Accept loops).
+//
+// What cannot pass is a body that loops with no exit edge at all. The
+// analysis is intraprocedural with one level of resolution: `go f(x)` and
+// `go s.work()` are checked against the same-package callee's body; a
+// spawn of another package's function is accepted (it cannot be proven
+// leaky from here). Suppress a justified forever-goroutine (a process-
+// lifetime daemon) with //lint:ignore goroutineleak <reason>.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphsketch/internal/analysis"
+	"graphsketch/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "flags go statements whose goroutine body has no reachable shutdown edge (CFG exit unreachable): add a done/context select case, range over a closable channel, or bound the loop",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index the package's function declarations so `go f()` and
+	// `go recv.method()` resolve one level deep.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, desc := spawnedBody(pass, decls, gs.Call)
+			if body == nil {
+				return true // cross-package or dynamic callee: not provable here
+			}
+			g := cfg.New(body)
+			if !g.Reachable()[g.Exit] {
+				pass.Reportf(gs.Pos(),
+					"goroutine %s has no reachable shutdown edge: every path loops forever; add a context/done-channel select case, range over a channel closed on the shutdown path, or pair it with a bounded loop", desc)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnedBody resolves the body the go statement runs: a function literal's
+// own body, or the body of a same-package function or method.
+func spawnedBody(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fn := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fn.Body, "func literal"
+	case *ast.Ident:
+		if fd := decls[pass.TypesInfo.Uses[fn]]; fd != nil {
+			return fd.Body, fn.Name
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.TypesInfo.Uses[fn.Sel]]; fd != nil {
+			return fd.Body, fn.Sel.Name
+		}
+	}
+	return nil, ""
+}
+
+// isTestFile reports whether the file is a _test.go file; test goroutines
+// live for the test binary and are leakcheck's business, not gsvet's.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/goroutineleak"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, "testdata/src", goroutineleak.Analyzer)
+}

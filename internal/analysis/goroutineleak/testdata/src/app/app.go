@@ -1,0 +1,142 @@
+// Package app exercises goroutineleak: goroutines with no reachable
+// shutdown edge are flagged; every legitimate shutdown idiom passes.
+package app
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	jobs chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Leak: bare infinite loop — no exit edge anywhere.
+func spinForever() {
+	go func() { // want `no reachable shutdown edge`
+		i := 0
+		for {
+			i++
+		}
+	}()
+}
+
+// Leak: the select has no case that leaves the loop.
+func drainForever(jobs chan int) {
+	go func() { // want `no reachable shutdown edge`
+		for {
+			select {
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// Leak: select{} blocks forever.
+func blockForever() {
+	go func() { // want `no reachable shutdown edge`
+		select {}
+	}()
+}
+
+// Leak through one level of resolution: the named worker loops forever.
+func (p *pool) startLoop() {
+	go p.loopForever() // want `no reachable shutdown edge`
+}
+
+func (p *pool) loopForever() {
+	for {
+		<-p.jobs
+	}
+}
+
+// OK: a done-channel select case returns.
+func (p *pool) startWithDone() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case j := <-p.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// OK: context cancellation case breaks the loop.
+func startWithContext(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// OK: range over a channel ends when the channel is closed on Close.
+func (p *pool) startRangeWorker() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for j := range p.jobs {
+			_ = j
+		}
+	}()
+}
+
+// OK: straight-line WaitGroup-paired body.
+func (p *pool) startOnce() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		<-p.jobs
+	}()
+}
+
+// OK: bounded loop terminates structurally.
+func startBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// OK: named same-package worker with a shutdown edge.
+func (p *pool) startWorker() {
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case j := <-p.jobs:
+			_ = j
+		}
+	}
+}
+
+// OK: cross-package callee cannot be proven leaky intraprocedurally.
+func startForeign(f func()) {
+	go f()
+}
+
+// OK (suppressed): documented process-lifetime daemon.
+func startDaemon(beat chan int) {
+	//lint:ignore goroutineleak heartbeat daemon lives for the whole process by design
+	go func() {
+		for {
+			beat <- 1
+		}
+	}()
+}

@@ -1,0 +1,3 @@
+module gsvettest
+
+go 1.24

@@ -1,0 +1,542 @@
+// Package lockatomic flags struct fields with mixed synchronization: a
+// field written via sync/atomic or under a held sibling mutex in one place
+// must not be accessed plainly elsewhere.
+//
+// The oracle's epoch cache, the shard plane's per-shard counters, and the
+// engine's dispatch scratch all mix atomics, mutexes, and worker goroutines
+// across package boundaries. The invariant that keeps them correct is
+// consistency: once a field is published as "guarded by t.mu" (written with
+// the lock held) or "atomic" (addressed by a sync/atomic call), every other
+// access must follow the same discipline. A plain read of such a field is a
+// data race `-race` only reports when a test happens to interleave it; this
+// analyzer reports the access pattern itself, deterministically.
+//
+// Mechanics, per package:
+//
+//   - Every function gets a lock-set dataflow pass over its CFG (package
+//     cfg): `x.mu.Lock()` / `x.RLock()` adds the mutex path to the fact,
+//     `Unlock` removes it, `defer x.mu.Unlock()` keeps it held to the end,
+//     and facts intersect at merges — a lock held on only one inbound path
+//     is not held. A field access `x.f` counts as guarded when a mutex
+//     rooted at the same variable x is in the fact at that program point.
+//   - Accesses are aggregated per field object. A field with a guarded
+//     write — or any sync/atomic access — anywhere in the package makes
+//     every plain access to it elsewhere a finding.
+//
+// Out of scope, deliberately: fields whose type is itself a synchronizer
+// (sync.Mutex, atomic.Uint64, channels — safe by construction), accesses
+// to freshly constructed values inside the function that built them
+// (constructors initialize without locks), value-receiver copies, and
+// cross-function lock forwarding (a helper called with the lock held looks
+// plain here — suppress with //lint:ignore lockatomic <reason> naming the
+// lock-transfer protocol that makes it safe; the WaitGroup-paired shard
+// writes in internal/shardplane are the canonical example).
+package lockatomic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"graphsketch/internal/analysis"
+	"graphsketch/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockatomic",
+	Doc:  "flags struct fields written under a mutex or via sync/atomic in one function but accessed plainly elsewhere — the data-race class -race only catches when a test interleaves it",
+	Run:  run,
+}
+
+// accessKind classifies one field access site.
+type accessKind int
+
+const (
+	plain accessKind = iota
+	guarded
+	atomicFn
+)
+
+type access struct {
+	pos   token.Pos
+	fn    string // enclosing function, for the diagnostic
+	kind  accessKind
+	write bool
+}
+
+func run(pass *analysis.Pass) error {
+	byField := make(map[*types.Var][]*access)
+	order := []*types.Var{} // deterministic report order
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := analysis.EnclosingFunc(f, fd.Name.Pos())
+			collectFunc(pass, fd.Body, name, byField, &order)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A goroutine or callback body is its own context: locks
+					// held at the spawn site are not held when it runs.
+					collectFunc(pass, lit.Body, name+" (func literal)", byField, &order)
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+	seen := make(map[*types.Var]bool)
+	for _, field := range order {
+		if seen[field] {
+			continue
+		}
+		seen[field] = true
+		report(pass, field, byField[field])
+	}
+	return nil
+}
+
+// collectFunc runs the lock-set dataflow over one function body and records
+// every struct-field access with its guarding state.
+func collectFunc(pass *analysis.Pass, body *ast.BlockStmt, fnName string, byField map[*types.Var][]*access, order *[]*types.Var) {
+	local := locallyConstructed(pass, body)
+
+	g := cfg.New(body)
+	prob := cfg.ForwardProblem[lockSet]{
+		Entry:    lockSet{},
+		Transfer: func(n ast.Node, in lockSet) lockSet { return transferLocks(pass, n, in) },
+		Join:     intersectLocks,
+		Equal:    equalLocks,
+	}
+	in := prob.Solve(g)
+
+	for _, b := range g.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue // unreachable block: no runtime access happens there
+		}
+		for _, n := range b.Nodes {
+			here := prob.FactAt(b, fact, n)
+			walkAccesses(pass, n, false, func(sel *ast.SelectorExpr, write, isAtomic bool) {
+				field := fieldOf(pass, sel)
+				if field == nil || skipField(field) {
+					return
+				}
+				root := rootObject(pass, sel)
+				if root == nil || local[root] || !sharedRoot(root) {
+					return
+				}
+				kind := plain
+				switch {
+				case isAtomic:
+					kind = atomicFn
+				case here[root]:
+					kind = guarded
+				}
+				if byField[field] == nil {
+					*order = append(*order, field)
+				}
+				byField[field] = append(byField[field], &access{
+					pos: sel.Pos(), fn: fnName, kind: kind, write: write,
+				})
+			})
+		}
+	}
+}
+
+// report emits findings for one field: plain accesses conflicting with an
+// atomic access or a guarded write elsewhere.
+func report(pass *analysis.Pass, field *types.Var, accs []*access) {
+	var atomicAt, guardedAt string
+	for _, a := range accs {
+		switch {
+		case a.kind == atomicFn && atomicAt == "":
+			atomicAt = a.fn
+		case a.kind == guarded && a.write && guardedAt == "":
+			guardedAt = a.fn
+		}
+	}
+	if atomicAt == "" && guardedAt == "" {
+		return
+	}
+	for _, a := range accs {
+		if a.kind != plain {
+			continue
+		}
+		verb := "read"
+		if a.write {
+			verb = "written"
+		}
+		switch {
+		case atomicAt != "":
+			pass.Reportf(a.pos,
+				"field %s is accessed via sync/atomic in %s but %s plainly here: use the same atomic ops on every access",
+				field.Name(), atomicAt, verb)
+		default:
+			pass.Reportf(a.pos,
+				"field %s is written under a held mutex in %s but %s plainly here: hold the same lock (or document the happens-before with a lint:ignore)",
+				field.Name(), guardedAt, verb)
+		}
+	}
+}
+
+// lockSet is the dataflow fact: the set of mutexes held, keyed by the root
+// variable of the receiver chain (t for t.mu.Lock(); the root is what ties
+// a lock to the fields it guards).
+type lockSet map[types.Object]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func transferLocks(pass *analysis.Pass, n ast.Node, in lockSet) lockSet {
+	out := in
+	mutate := func() lockSet {
+		if equalLocks(out, in) {
+			out = in.clone()
+		}
+		return out
+	}
+	isDefer := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		isDefer = true
+		n = d.Call
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		root := rootObject(pass, sel)
+		if root == nil {
+			return true
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+			if !isDefer {
+				mutate()[root] = true
+			}
+		case "Unlock", "RUnlock":
+			// A deferred unlock keeps the lock held for the rest of the
+			// function; a direct unlock releases it here.
+			if !isDefer {
+				delete(mutate(), root)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func intersectLocks(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalLocks(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// walkAccesses visits every struct-field selector in n, reporting whether
+// the site writes the field and whether it is a sync/atomic operand.
+// Function literals are skipped (separate context).
+func walkAccesses(pass *analysis.Pass, n ast.Node, write bool, emit func(sel *ast.SelectorExpr, write, isAtomic bool)) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		return
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			walkWriteTarget(pass, lhs, emit)
+		}
+		for _, rhs := range n.Rhs {
+			walkAccesses(pass, rhs, false, emit)
+		}
+	case *ast.IncDecStmt:
+		walkWriteTarget(pass, n.X, emit)
+	case *ast.CallExpr:
+		walkAccesses(pass, n.Fun, false, emit)
+		atomicCall := isAtomicCall(pass, n)
+		for _, arg := range n.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := u.X.(*ast.SelectorExpr); ok {
+					walkAccesses(pass, sel.X, false, emit)
+					emit(sel, true, atomicCall)
+					continue
+				}
+			}
+			walkAccesses(pass, arg, false, emit)
+		}
+	case *ast.SelectorExpr:
+		walkAccesses(pass, n.X, false, emit)
+		emit(n, write, false)
+	case *ast.ExprStmt:
+		walkAccesses(pass, n.X, false, emit)
+	case *ast.SendStmt:
+		walkAccesses(pass, n.Chan, false, emit)
+		walkAccesses(pass, n.Value, false, emit)
+	case *ast.GoStmt:
+		walkAccesses(pass, n.Call, false, emit)
+	case *ast.DeferStmt:
+		walkAccesses(pass, n.Call, false, emit)
+	case *ast.DeclStmt:
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			if sel, ok := x.(*ast.SelectorExpr); ok {
+				walkAccesses(pass, sel, false, emit)
+				return false
+			}
+			return true
+		})
+	default:
+		// Generic traversal for remaining expression shapes (binary ops,
+		// index/slice expressions, composite literals, conditions).
+		if expr, ok := n.(ast.Expr); ok {
+			walkExpr(pass, expr, emit)
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case ast.Stmt:
+				if x == n {
+					return true
+				}
+				walkAccesses(pass, x, false, emit)
+				return false
+			case ast.Expr:
+				walkExpr(pass, x, emit)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// walkExpr handles pure-expression traversal, delegating compound shapes
+// back to walkAccesses.
+func walkExpr(pass *analysis.Pass, e ast.Expr, emit func(sel *ast.SelectorExpr, write, isAtomic bool)) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.SelectorExpr, *ast.CallExpr, *ast.FuncLit:
+		walkAccesses(pass, e, false, emit)
+	case *ast.BinaryExpr:
+		walkExpr(pass, e.X, emit)
+		walkExpr(pass, e.Y, emit)
+	case *ast.UnaryExpr:
+		walkExpr(pass, e.X, emit)
+	case *ast.ParenExpr:
+		walkExpr(pass, e.X, emit)
+	case *ast.StarExpr:
+		walkExpr(pass, e.X, emit)
+	case *ast.IndexExpr:
+		walkExpr(pass, e.X, emit)
+		walkExpr(pass, e.Index, emit)
+	case *ast.SliceExpr:
+		walkExpr(pass, e.X, emit)
+		walkExpr(pass, e.Low, emit)
+		walkExpr(pass, e.High, emit)
+		walkExpr(pass, e.Max, emit)
+	case *ast.TypeAssertExpr:
+		walkExpr(pass, e.X, emit)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				walkExpr(pass, kv.Value, emit)
+			} else {
+				walkExpr(pass, el, emit)
+			}
+		}
+	case *ast.KeyValueExpr:
+		walkExpr(pass, e.Value, emit)
+	}
+}
+
+// walkWriteTarget classifies an assignment LHS: a selector is a field
+// write; an indexed selector (t.errs[i] = ...) mutates the field's backing
+// store and counts as a write to the field for race purposes.
+func walkWriteTarget(pass *analysis.Pass, lhs ast.Expr, emit func(sel *ast.SelectorExpr, write, isAtomic bool)) {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		walkAccesses(pass, lhs.X, false, emit)
+		emit(lhs, true, false)
+	case *ast.IndexExpr:
+		if sel, ok := lhs.X.(*ast.SelectorExpr); ok {
+			walkAccesses(pass, sel.X, false, emit)
+			emit(sel, true, false)
+		} else {
+			walkExpr(pass, lhs.X, emit)
+		}
+		walkExpr(pass, lhs.Index, emit)
+	case *ast.StarExpr:
+		walkExpr(pass, lhs.X, emit)
+	default:
+		walkExpr(pass, lhs, emit)
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// fieldOf resolves sel to the struct field it selects, when the field
+// belongs to a type of the package under analysis.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil || field.Pkg() != pass.Pkg {
+		return nil
+	}
+	return field
+}
+
+// rootObject returns the object of the identifier at the base of a
+// selector chain: t for t.stats.owned, nil for compound bases (calls,
+// indexes — too dynamic to tie a lock to).
+func rootObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	e := ast.Expr(sel)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// sharedRoot reports whether accesses rooted at obj can be shared across
+// goroutines: pointer-typed variables and package-level variables. A value
+// copy (value receiver, value parameter, plain local) is private.
+func sharedRoot(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+		return true
+	}
+	// Package-level struct variables are shared even without a pointer.
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// skipField drops fields that synchronize by construction.
+func skipField(field *types.Var) bool {
+	t := field.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// locallyConstructed returns the set of local variables bound to a value
+// the function itself constructed (composite literal, &literal, new(T)):
+// until such a value escapes, its fields are private and constructors may
+// initialize them without locks.
+func locallyConstructed(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isConstruction(as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isConstruction(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockatomic_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/analysis/analysistest"
+	"graphsketch/internal/analysis/lockatomic"
+)
+
+func TestLockAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lockatomic.Analyzer)
+}

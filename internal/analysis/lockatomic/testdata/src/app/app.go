@@ -1,0 +1,119 @@
+// Package app exercises lockatomic: fields written under a mutex or via
+// sync/atomic in one function must not be accessed plainly elsewhere.
+package app
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu    sync.Mutex
+	hits  int64 // guarded by mu
+	raw   int64 // accessed via sync/atomic functions
+	typed atomic.Int64
+	name  string // immutable after construction: never flagged
+}
+
+// Guarded write: publishes hits as mu-protected state.
+func (c *counter) IncLocked() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// Bad: plain read of a mu-guarded field.
+func (c *counter) HitsRacy() int64 {
+	return c.hits // want `field hits is written under a held mutex in \(\*counter\).IncLocked but read plainly here`
+}
+
+// Bad: plain write outside the lock.
+func (c *counter) ResetRacy() {
+	c.hits = 0 // want `field hits is written under a held mutex in \(\*counter\).IncLocked but written plainly here`
+}
+
+// OK: read under the same lock, released on all paths.
+func (c *counter) HitsLocked() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// OK: branches merge with the lock held on both paths.
+func (c *counter) AddSome(fast bool) {
+	c.mu.Lock()
+	if fast {
+		c.hits += 2
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+}
+
+// Bad: the lock was released before the access — flow-sensitivity matters.
+func (c *counter) UnlockedTail() int64 {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	return c.hits // want `field hits is written under a held mutex in \(\*counter\).IncLocked but read plainly here`
+}
+
+// Atomic discipline: raw is an atomic field.
+func (c *counter) IncAtomic() {
+	atomic.AddInt64(&c.raw, 1)
+}
+
+// Bad: plain read of an atomic field tears on 32-bit and races everywhere.
+func (c *counter) RawRacy() int64 {
+	return c.raw // want `field raw is accessed via sync/atomic in \(\*counter\).IncAtomic but read plainly here`
+}
+
+// OK: typed atomics synchronize by construction and are never flagged.
+func (c *counter) Typed() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// OK: constructors initialize locally built values without locks.
+func NewCounter(name string) *counter {
+	c := &counter{name: name}
+	c.hits = 0
+	atomic.StoreInt64(&c.raw, 0)
+	return c
+}
+
+// OK: immutable field reads are never findings, even next to the lock.
+func (c *counter) Name() string {
+	return c.name
+}
+
+// pool mirrors the shard-plane shape: a worker goroutine writing a slot
+// that the dispatcher also touches under its lock.
+type pool struct {
+	mu   sync.Mutex
+	errs []error
+	jobs chan int
+}
+
+func (p *pool) dispatch() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.errs {
+		p.errs[i] = nil
+	}
+	go func() {
+		for j := range p.jobs {
+			p.errs[j] = nil // want `field errs is written under a held mutex in \(\*pool\).dispatch but written plainly here`
+		}
+	}()
+}
+
+// OK (suppressed): a documented happens-before protocol.
+func (p *pool) dispatchDocumented() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		//lint:ignore lockatomic slot writes are ordered by the done WaitGroup; the dispatcher reads only after Wait
+		p.errs[0] = nil
+	}()
+}

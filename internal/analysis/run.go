@@ -8,16 +8,44 @@ import (
 	"strings"
 )
 
+// Finding pairs a diagnostic with its suppression state: RunAll keeps
+// suppressed findings so callers emitting machine-readable output (gsvet
+// -json) can show the full audit trail, while Run drops them.
+type Finding struct {
+	Diagnostic
+	Suppressed bool
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position: findings suppressed by a valid
 // //lint:ignore or //lint:file-ignore annotation are dropped, and
 // malformed annotations (no reason given) are themselves reported so that
 // every suppression stays a documented decision.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
 	var diags []Diagnostic
+	for _, f := range all {
+		if !f.Suppressed {
+			diags = append(diags, f.Diagnostic)
+		}
+	}
+	return diags, nil
+}
+
+// RunAll applies every analyzer to every package and returns every finding
+// sorted by position, including ones suppressed by //lint:ignore or
+// //lint:file-ignore annotations (marked Suppressed). Malformed
+// annotations (no reason given) are reported as lintdirective findings.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
 	for _, pkg := range pkgs {
 		ig, bad := collectIgnores(pkg)
-		diags = append(diags, bad...)
+		for _, d := range bad {
+			all = append(all, Finding{Diagnostic: d})
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -27,29 +55,42 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				TypesInfo: pkg.TypesInfo,
 			}
 			pass.report = func(d Diagnostic) {
-				if !ig.suppressed(pkg.Fset, d) {
-					diags = append(diags, d)
-				}
+				all = append(all, Finding{
+					Diagnostic: d,
+					Suppressed: ig.suppressed(pkg.Fset, d),
+				})
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].Pos != diags[j].Pos {
-			return diags[i].Pos < diags[j].Pos
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos != all[j].Pos {
+			return all[i].Pos < all[j].Pos
 		}
-		return diags[i].Message < diags[j].Message
+		return all[i].Message < all[j].Message
 	})
-	return diags, nil
+	return all, nil
 }
 
 // ignoreSet indexes a package's lint annotations: line-level ignores keyed
-// by file and line, and file-level ignores keyed by file.
+// by file and line, statement-extent spans keyed by file, and file-level
+// ignores keyed by file.
 type ignoreSet struct {
-	line map[string]map[int][]string // filename -> line -> analyzer names
-	file map[string][]string         // filename -> analyzer names
+	line  map[string]map[int][]string // filename -> line -> analyzer names
+	spans map[string][]ignoreSpan     // filename -> statement extents
+	file  map[string][]string         // filename -> analyzer names
+}
+
+// ignoreSpan covers the full source extent (inclusive line range) of the
+// statement or declaration that a //lint:ignore directive precedes, so a
+// suppression on a multi-line construct (a go func literal, a composite
+// literal, a chained call) applies to every line of it rather than only
+// the first.
+type ignoreSpan struct {
+	start, end int
+	names      []string
 }
 
 func (ig ignoreSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
@@ -59,9 +100,16 @@ func (ig ignoreSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
 			return true
 		}
 	}
-	lines := ig.line[pos.Filename]
-	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[l] {
+	for _, name := range ig.line[pos.Filename][pos.Line] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	for _, sp := range ig.spans[pos.Filename] {
+		if pos.Line < sp.start || pos.Line > sp.end {
+			continue
+		}
+		for _, name := range sp.names {
 			if name == d.Analyzer {
 				return true
 			}
@@ -72,13 +120,15 @@ func (ig ignoreSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
 
 // collectIgnores scans a package's comments for //lint:ignore and
 // //lint:file-ignore annotations. An annotation suppresses the named
-// analyzers on its own line and the line below it (so it can sit either at
-// the end of the flagged line or directly above it). Annotations missing
-// the mandatory reason are returned as diagnostics of their own.
+// analyzers on its own line (so it can trail the flagged code) and across
+// the full extent of the statement or declaration it precedes — every line
+// of it, not just the first. Annotations missing the mandatory reason are
+// returned as diagnostics of their own.
 func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 	ig := ignoreSet{
-		line: make(map[string]map[int][]string),
-		file: make(map[string][]string),
+		line:  make(map[string]map[int][]string),
+		spans: make(map[string][]ignoreSpan),
+		file:  make(map[string][]string),
 	}
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
@@ -106,10 +156,49 @@ func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 					ig.line[pos.Filename] = make(map[int][]string)
 				}
 				ig.line[pos.Filename][pos.Line] = append(ig.line[pos.Filename][pos.Line], names...)
+				// The span only attaches when the statement begins on the
+				// very next line, mirroring the directive-precedes-node
+				// convention; a directive trailing unrelated code must not
+				// reach a distant statement.
+				if start, end, ok := stmtExtent(pkg.Fset, f, pos.Line); ok && start == pos.Line+1 {
+					ig.spans[pos.Filename] = append(ig.spans[pos.Filename], ignoreSpan{
+						start: start, end: end, names: names,
+					})
+				}
 			}
 		}
 	}
 	return ig, bad
+}
+
+// stmtExtent finds the first statement or declaration starting after the
+// given line and returns its inclusive line range. Among nodes sharing
+// that start position the outermost one wins, so a directive above
+// `go func() { ... }()` covers the whole go statement, not just the first
+// token of the literal.
+func stmtExtent(fset *token.FileSet, f *ast.File, line int) (start, end int, ok bool) {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+		default:
+			return true
+		}
+		if fset.Position(n.Pos()).Line <= line {
+			return true // starts at or before the directive; descend
+		}
+		if best == nil || n.Pos() < best.Pos() || (n.Pos() == best.Pos() && n.End() > best.End()) {
+			best = n
+		}
+		return true
+	})
+	if best == nil {
+		return 0, 0, false
+	}
+	return fset.Position(best.Pos()).Line, fset.Position(best.End() - 1).Line, true
 }
 
 // cutDirective strips the //lint:ignore or //lint:file-ignore prefix,

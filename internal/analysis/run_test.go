@@ -31,7 +31,9 @@ var x int
 	}
 }
 
-// TestSuppressionWindow pins the two-line scope of a line ignore.
+// TestSuppressionWindow pins the scope of a line ignore: the directive's
+// own line plus the full extent of the statement it precedes, and nothing
+// past it.
 func TestSuppressionWindow(t *testing.T) {
 	const src = `package p
 
@@ -57,8 +59,8 @@ var b int
 		want bool
 	}{
 		{3, true},  // the directive's own line
-		{4, true},  // the line below it
-		{5, false}, // out of scope
+		{4, true},  // the declaration it precedes
+		{5, false}, // the next declaration is out of scope
 	} {
 		d := Diagnostic{Pos: posAtLine(tc.line), Analyzer: "mycheck"}
 		if got := ig.suppressed(fset, d); got != tc.want {
@@ -68,6 +70,85 @@ var b int
 	other := Diagnostic{Pos: posAtLine(4), Analyzer: "othercheck"}
 	if ig.suppressed(fset, other) {
 		t.Error("suppression leaked to an analyzer not named in the directive")
+	}
+}
+
+// TestSuppressionStatementExtent is the regression golden for multi-line
+// statements: a directive above a go statement with a function literal
+// must cover every line of the literal, not just the first, while the
+// statement after it stays in scope for the analyzer.
+func TestSuppressionStatementExtent(t *testing.T) {
+	const src = `package p
+
+func f(ch chan int) {
+	//lint:ignore mycheck the literal body is part of the statement
+	go func() {
+		for range ch {
+		}
+	}()
+	done := ch
+	_ = done
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{f}}
+	ig, bad := collectIgnores(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %+v", bad)
+	}
+	posAtLine := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	for _, tc := range []struct {
+		line int
+		want bool
+	}{
+		{5, true},  // go statement head
+		{6, true},  // inside the function literal
+		{7, true},  // closing brace of the loop
+		{8, true},  // the trailing }() of the go statement
+		{9, false}, // the following statement is out of scope
+	} {
+		d := Diagnostic{Pos: posAtLine(tc.line), Analyzer: "mycheck"}
+		if got := ig.suppressed(fset, d); got != tc.want {
+			t.Errorf("line %d suppressed = %v; want %v", tc.line, got, tc.want)
+		}
+	}
+}
+
+// TestSuppressionTrailingDirective pins that a directive at the end of an
+// unrelated line does not leap to a distant statement: only the adjacent
+// next line attaches a statement extent.
+func TestSuppressionTrailingDirective(t *testing.T) {
+	const src = `package p
+
+var a int //lint:ignore mycheck trailing usage covers this line
+
+var b = func() int {
+	return 0
+}()
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{f}}
+	ig, _ := collectIgnores(pkg)
+	posAtLine := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !ig.suppressed(fset, Diagnostic{Pos: posAtLine(3), Analyzer: "mycheck"}) {
+		t.Error("trailing directive must suppress its own line")
+	}
+	for _, line := range []int{5, 6, 7} {
+		if ig.suppressed(fset, Diagnostic{Pos: posAtLine(line), Analyzer: "mycheck"}) {
+			t.Errorf("line %d suppressed; the directive must not reach the var b declaration", line)
+		}
 	}
 }
 

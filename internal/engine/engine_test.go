@@ -190,7 +190,9 @@ func TestEngineSingleUpdateAndErrors(t *testing.T) {
 	}
 
 	// Worker count is capped at the vertex count and floored at 1.
-	if w := engine.New(sp, engine.Options{Workers: 100}).Workers(); w > n {
+	capped := engine.New(sp, engine.Options{Workers: 100})
+	defer capped.Close()
+	if w := capped.Workers(); w > n {
 		t.Fatalf("workers = %d, want <= n = %d", w, n)
 	}
 }

@@ -1,0 +1,14 @@
+package engine_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/testutil/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: the engine's fan-out
+// workers and transports must all be shut down by the tests that started
+// them.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

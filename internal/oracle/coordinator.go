@@ -82,7 +82,7 @@ func decodeRouteFor(s graphsketch.Sketch) (func(*obs.Span) (*graph.Hypergraph, e
 	case *sparsify.Sketch:
 		return func(sp *obs.Span) (*graph.Hypergraph, error) { return s.SparsifierTraced(sp) }, nil
 	}
-	return nil, fmt.Errorf("oracle: no coordinator decode route for %T", s)
+	return nil, fmt.Errorf("oracle: no coordinator decode route for %T: %w", s, ErrNoDecodeRoute)
 }
 
 // transportSketch adapts a shardplane.Transport to the mutation surface
@@ -116,5 +116,5 @@ func (t *transportSketch) Words() int { return 0 }
 func (t *transportSketch) Marshal() []byte { return nil }
 
 func (t *transportSketch) Unmarshal(data []byte) error {
-	return fmt.Errorf("oracle: coordinator proxy holds no local state to restore")
+	return fmt.Errorf("oracle: coordinator proxy holds no local state to restore: %w", ErrCoordinatorProxy)
 }

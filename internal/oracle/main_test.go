@@ -1,0 +1,13 @@
+package oracle
+
+import (
+	"testing"
+
+	"graphsketch/internal/testutil/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: coordinator transports
+// wired through the oracle must be closed by the tests that dialed them.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -58,6 +58,19 @@ import (
 // the subsampled H carries no Theorem 4 guarantee.
 var ErrRemoveTooLarge = errors.New("oracle: removal set larger than the sketch's query parameter K")
 
+// ErrConfig is returned by New for an invalid Config; the wrapping message
+// names the failing field.
+var ErrConfig = errors.New("oracle: invalid configuration")
+
+// ErrCoordinatorProxy is returned by coordinator-proxy surfaces that hold
+// no local state: the plane's state lives on the shards, so merging into
+// or restoring the proxy would silently bypass the transport.
+var ErrCoordinatorProxy = errors.New("oracle: coordinator proxy state lives on the shards")
+
+// ErrNoDecodeRoute is returned when a coordinator oracle is asked to wrap
+// a sketch type it has no decode routine for.
+var ErrNoDecodeRoute = errors.New("oracle: no coordinator decode route for sketch type")
+
 // Config assembles an Oracle from a sketch and its decode routine. The
 // adapter constructors (ForSpanning, ForSkeleton, ForVertexConn,
 // ForEdgeConn, ForSparsify) fill it for the library's sketches; Config is
@@ -117,11 +130,11 @@ type Oracle struct {
 func New(cfg Config) (*Oracle, error) {
 	switch {
 	case cfg.Sketch == nil:
-		return nil, errors.New("oracle: Config.Sketch is nil")
+		return nil, fmt.Errorf("oracle: Config.Sketch is nil: %w", ErrConfig)
 	case cfg.Decode == nil:
-		return nil, errors.New("oracle: Config.Decode is nil")
+		return nil, fmt.Errorf("oracle: Config.Decode is nil: %w", ErrConfig)
 	case cfg.N < 1:
-		return nil, fmt.Errorf("oracle: need N >= 1, got %d", cfg.N)
+		return nil, fmt.Errorf("oracle: need N >= 1, got %d: %w", cfg.N, ErrConfig)
 	}
 	return &Oracle{cfg: cfg}, nil
 }

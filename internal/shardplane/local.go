@@ -80,6 +80,7 @@ func (t *LocalTransport) shard(i int) {
 	defer t.wg.Done()
 	lo, hi := t.bounds[i], t.bounds[i+1]
 	for j := range t.jobs[i] {
+		//lint:ignore lockatomic each shard owns slot errs[i] exclusively while a batch is in flight; Route reads the slots only after done.Wait, which is the happens-before edge
 		if t.stats == nil {
 			t.errs[i] = t.target.UpdateBatchRange(j.batch, lo, hi)
 		} else {
@@ -148,7 +149,7 @@ func (t *LocalTransport) Route(batch []graph.WeightedEdge) error {
 // transport's fingerprint check would catch.
 func (t *LocalTransport) Gather(dst graphsketch.Sketch) error {
 	if any(dst) != any(t.target) {
-		return fmt.Errorf("shardplane: local gather into a sketch that is not the routed target")
+		return fmt.Errorf("shardplane: local gather into a sketch that is not the routed target: %w", ErrGatherMismatch)
 	}
 	return nil
 }

@@ -1,0 +1,14 @@
+package shardplane_test
+
+import (
+	"testing"
+
+	"graphsketch/internal/testutil/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: shard workers, server
+// accept loops, and per-connection sessions must all be shut down by the
+// tests that started them.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

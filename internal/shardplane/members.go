@@ -132,7 +132,7 @@ func (t *MemberTransport) GatherShares(dst ShareMerger) (ShareStats, error) {
 				return st, fmt.Errorf("shardplane: merging share for vertex %d: %w", v, err)
 			}
 			if len(rest) != 0 {
-				return st, fmt.Errorf("shardplane: share frame for vertex %d left %d trailing bytes", v, len(rest))
+				return st, fmt.Errorf("shardplane: share frame for vertex %d left %d trailing bytes: %w", v, len(rest), ErrBadPayload)
 			}
 			if spm.gatherFrames != nil {
 				spm.gatherFrames.Inc()
@@ -156,7 +156,7 @@ func (t *MemberTransport) Gather(dst graphsketch.Sketch) error {
 	if !framed {
 		sm, ok := dst.(ShareMerger)
 		if !ok {
-			return fmt.Errorf("shardplane: gather destination %T reads neither checkpoint nor share frames", dst)
+			return fmt.Errorf("shardplane: gather destination %T reads neither checkpoint nor share frames: %w", dst, ErrGatherMismatch)
 		}
 		_, err := t.GatherShares(sm)
 		return err

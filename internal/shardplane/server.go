@@ -176,7 +176,7 @@ func openHello(h codec.Header, payload []byte) (Member, int, int, error) {
 	}
 	member, ok := sk.(Member)
 	if !ok {
-		return nil, 0, 0, fmt.Errorf("shardplane: %T is not vertex-sharded; it cannot serve as a shard member", sk)
+		return nil, 0, 0, fmt.Errorf("shardplane: %T is not vertex-sharded: %w", sk, ErrNotMember)
 	}
 	if n := member.NumVertices(); int(hello.Hi) > n {
 		return nil, 0, 0, fmt.Errorf("shardplane: hello range [%d,%d) exceeds member vertex space [0,%d): %w",

@@ -41,6 +41,24 @@ import (
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("shardplane: transport closed")
 
+// ErrNoAddrs is returned when a distributed transport is dialed with an
+// empty address list.
+var ErrNoAddrs = errors.New("shardplane: no shard addresses")
+
+// ErrGatherMismatch is returned when a gather destination cannot merge
+// this plane's state — the wrong sketch for a local plane's identity
+// gather, or a type lacking the frame surface a distributed plane emits.
+var ErrGatherMismatch = errors.New("shardplane: gather destination cannot merge this plane's state")
+
+// ErrNotMember is returned when a hello frame's embedded checkpoint opens
+// to a sketch type that cannot serve as a shard member.
+var ErrNotMember = errors.New("shardplane: sketch cannot serve as a shard member")
+
+// ErrBadPayload is returned when a frame's payload parses structurally —
+// the codec envelope was fine — but its contents are inconsistent:
+// trailing bytes, an impossible shard assignment, and the like.
+var ErrBadPayload = errors.New("shardplane: malformed frame payload")
+
 // Transport routes update batches to a fixed partition of the vertex space
 // and folds the shards' accumulated state back into a coordinator sketch.
 // Implementations serialize Route against itself and against Close, so a

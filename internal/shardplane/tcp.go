@@ -93,7 +93,7 @@ type TCPTransport struct {
 // once per shard at gather time.
 func DialTCP(proto Member, addrs []string, opt TCPOptions) (*TCPTransport, error) {
 	if len(addrs) == 0 {
-		return nil, fmt.Errorf("shardplane: no shard addresses")
+		return nil, ErrNoAddrs
 	}
 	var buf bytes.Buffer
 	if _, err := proto.WriteTo(&buf); err != nil {
@@ -158,6 +158,7 @@ func (t *TCPTransport) Route(batch []graph.WeightedEdge) error {
 		wg.Add(1)
 		go func(s int, frame []byte) {
 			defer wg.Done()
+			//lint:ignore lockatomic each sender owns slot errs[s] exclusively; Route reads the slots only after wg.Wait, which is the happens-before edge
 			t.errs[s] = t.sendBatch(t.shards[s], s, frame)
 		}(s, frame)
 	}
@@ -201,7 +202,7 @@ func (t *TCPTransport) sendBatch(sc *shardConn, shard int, frame []byte) error {
 func (t *TCPTransport) Gather(dst graphsketch.Sketch) error {
 	rf, ok := dst.(io.ReaderFrom)
 	if !ok {
-		return fmt.Errorf("shardplane: gather destination %T cannot read checkpoint frames", dst)
+		return fmt.Errorf("shardplane: gather destination %T cannot read checkpoint frames: %w", dst, ErrGatherMismatch)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

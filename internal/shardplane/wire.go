@@ -64,7 +64,7 @@ func parseHello(p []byte) (helloPayload, error) {
 		Ckpt:   p[16:],
 	}
 	if h.Shards == 0 || h.Shard >= h.Shards || h.Lo > h.Hi {
-		return helloPayload{}, fmt.Errorf("shardplane: hello assigns shard %d/%d range [%d,%d)", h.Shard, h.Shards, h.Lo, h.Hi)
+		return helloPayload{}, fmt.Errorf("shardplane: hello assigns shard %d/%d range [%d,%d): %w", h.Shard, h.Shards, h.Lo, h.Hi, ErrBadPayload)
 	}
 	return h, nil
 }
@@ -112,7 +112,7 @@ func parseBatch(dst []graph.WeightedEdge, p []byte) ([]graph.WeightedEdge, error
 		dst = append(dst, graph.WeightedEdge{E: e, W: w})
 	}
 	if len(p) != 0 {
-		return dst, fmt.Errorf("shardplane: batch payload has %d trailing bytes", len(p))
+		return dst, fmt.Errorf("shardplane: batch payload has %d trailing bytes: %w", len(p), ErrBadPayload)
 	}
 	return dst, nil
 }

@@ -1,0 +1,140 @@
+// Package leakcheck verifies at the end of a test binary that no
+// goroutines outlived the tests. It is the runtime complement to the
+// static goroutineleak analyzer: the analyzer proves every spawn site has
+// a reachable shutdown edge, and leakcheck proves the edges were actually
+// taken — a Close that was never called, or a worker blocked on a channel
+// nobody closes, fails the package even though every individual test
+// passed.
+//
+// Wire it in with a TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// Goroutines from the runtime and the testing framework are allowed by
+// default; a package whose tests legitimately leave a daemon running adds
+// its own allowance with Ignore. Detection retries briefly so goroutines
+// that are mid-shutdown when the last test finishes (a Close racing its
+// worker's final loop iteration) are not misreported.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// defaultAllow matches goroutines the checker always tolerates: the
+// runtime's own helpers, the testing framework, signal handling, and
+// profiling. Matching is by substring anywhere in the goroutine's stack
+// block, so both the running frame and the "created by" line count.
+var defaultAllow = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runFuzzing(",
+	"testing.runTests(",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/pprof.",
+	"runtime/trace.",
+	"created by runtime.",
+}
+
+// Option customizes a leak check.
+type Option func(*config)
+
+type config struct {
+	allow    []string
+	deadline time.Duration
+}
+
+// Ignore allows any goroutine whose stack contains substr. Use it for
+// intentional package daemons, naming the function precisely enough that
+// a genuine leak elsewhere cannot hide behind the allowance.
+func Ignore(substr string) Option {
+	return func(c *config) { c.allow = append(c.allow, substr) }
+}
+
+// Deadline sets how long Check waits for straggler goroutines to finish
+// shutting down before reporting them (default one second).
+func Deadline(d time.Duration) Option {
+	return func(c *config) { c.deadline = d }
+}
+
+// Main runs the package's tests and then checks for leaked goroutines,
+// exiting nonzero if the tests failed or a leak survived the deadline.
+func Main(m *testing.M, opts ...Option) {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(opts...); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check reports an error listing every goroutine still running that the
+// allowlist does not cover, retrying until the deadline so goroutines
+// already winding down get to finish.
+func Check(opts ...Option) error {
+	cfg := config{allow: defaultAllow, deadline: time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	deadline := time.Now().Add(cfg.deadline)
+	delay := time.Millisecond
+	for {
+		leaked := leakedStacks(cfg.allow)
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d leaked goroutine(s):\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// leakedStacks snapshots all goroutines and returns the stack blocks not
+// covered by the allowlist. The first block — the goroutine running the
+// check itself — is always dropped.
+func leakedStacks(allow []string) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	blocks := strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+	var leaked []string
+	for i, b := range blocks {
+		if i == 0 {
+			continue // the checker's own goroutine
+		}
+		allowed := false
+		for _, substr := range allow {
+			if strings.Contains(b, substr) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			leaked = append(leaked, b)
+		}
+	}
+	return leaked
+}

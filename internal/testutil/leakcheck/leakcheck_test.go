@@ -1,0 +1,62 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckCleanPasses pins the baseline: a quiescent test binary has no
+// leaked goroutines.
+func TestCheckCleanPasses(t *testing.T) {
+	if err := Check(); err != nil {
+		t.Fatalf("clean state reported a leak: %v", err)
+	}
+}
+
+// TestCheckDetectsLeak pins detection: a goroutine parked on a channel
+// nobody closes is reported with its stack, and closing the channel
+// clears the report.
+func TestCheckDetectsLeak(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	err := Check(Deadline(50 * time.Millisecond))
+	if err == nil {
+		t.Fatal("Check missed a parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "leakcheck.TestCheckDetectsLeak") {
+		t.Errorf("leak report does not name the spawning test:\n%v", err)
+	}
+
+	close(block)
+	if err := Check(); err != nil {
+		t.Errorf("leak persisted after shutdown: %v", err)
+	}
+}
+
+// TestIgnoreAllowsDaemon pins the allowance escape hatch.
+func TestIgnoreAllowsDaemon(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	go daemonForTest(started, block)
+	<-started
+
+	if err := Check(Deadline(50*time.Millisecond), Ignore("daemonForTest")); err != nil {
+		t.Errorf("allowance did not cover the daemon: %v", err)
+	}
+	if err := Check(Deadline(50 * time.Millisecond)); err == nil {
+		t.Error("daemon invisible without its allowance; the test is vacuous")
+	}
+}
+
+func daemonForTest(started chan<- struct{}, block <-chan struct{}) {
+	close(started)
+	<-block
+}
